@@ -1,0 +1,124 @@
+// Command evalbench regenerates the paper's Section 6 evaluation on the
+// emulated testbed:
+//
+//	Table 1 (a,b): memcached transaction throughput, VIF vs SR-IOV VF,
+//	Table 2:       finish times as servers shift onto the express lane,
+//	Table 3:       finish times with disk-bound background transfers,
+//	Table 4:       FasTrak's dynamic flow migration,
+//	§6.2.2:        controller cost.
+//
+// Usage:
+//
+//	evalbench [-table 1|2|3|4|cost|all] [-scale 100]
+//
+// -scale divides the paper's 2M-requests-per-client workload; finish-time
+// comparisons are ratios and survive scaling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table: 1, 2, 3, 4, cost, all")
+	scale := flag.Int("scale", 100, "divide the paper's request counts by this factor")
+	flag.Parse()
+	if *scale > 0 {
+		experiments.EvalScale = *scale
+	}
+
+	switch *table {
+	case "1":
+		table1()
+	case "2":
+		table2()
+	case "3":
+		table3()
+	case "4":
+		table4()
+	case "cost":
+		cost()
+	case "all":
+		table1()
+		table2()
+		table3()
+		table4()
+		cost()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+func table1() {
+	fmt.Println("Table 1: memcached TPS (a: no background, b: with IOzone VM)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "part\tinterface\tTPS\tmean-latency\t#CPUs")
+	for _, part := range []bool{false, true} {
+		label := "1a"
+		if part {
+			label = "1b"
+		}
+		for _, r := range experiments.Table1(part) {
+			fmt.Fprintf(w, "%s\t%s\t%.0f\t%v\t%.1f\n",
+				label, r.Interface, r.TPS, r.MeanLatency.Round(time.Microsecond), r.CPUs)
+		}
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func table2() {
+	fmt.Println("Table 2: memcached finish times as servers shift to SR-IOV VF")
+	printFinish(experiments.Table2())
+}
+
+func table3() {
+	fmt.Println("Table 3: finish times with disk-bound background transfers")
+	printFinish(experiments.Table3())
+}
+
+func printFinish(rows []experiments.Table2Row) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "traffic-via-VIF\tmean-finish\tmean-TPS\tmean-latency\t#CPUs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d%%\t%v\t%.0f\t%v\t%.1f\n",
+			r.PercentVIF, r.MeanFinish.Round(time.Millisecond), r.MeanTPS,
+			r.MeanLatency.Round(time.Microsecond), r.CPUs)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func table4() {
+	fmt.Println("Table 4: FasTrak dynamic flow migration (memcached + scp background)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\tmean-finish\tmean-TPS\tmean-latency\t#CPUs\toffloaded-at")
+	for _, r := range experiments.Table4() {
+		off := "-"
+		if r.OffloadedAt > 0 {
+			off = r.OffloadedAt.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "%s\t%v\t%.0f\t%v\t%.1f\t%s\n",
+			r.Mode, r.MeanFinish.Round(time.Millisecond), r.MeanTPS,
+			r.MeanLatency.Round(time.Microsecond), r.CPUs, off)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func cost() {
+	fmt.Println("§6.2.2: controller cost (busy memcached workload)")
+	cc := experiments.ControllerCost(3 * time.Second)
+	fmt.Printf("  control intervals: %d over %v\n", cc.ControlIntervals, cc.SimDuration)
+	fmt.Printf("  control messages:  %d (%d bytes on the wire)\n", cc.Messages, cc.MessageBytes)
+	fmt.Printf("  datapath samples:  %d\n", cc.Samples)
+	fmt.Printf("  placer flow-mods:  %d\n", cc.FlowMods)
+	fmt.Printf("  tracked flows:     %d\n", cc.ActiveFlows)
+}

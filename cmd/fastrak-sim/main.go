@@ -1,0 +1,103 @@
+// Command fastrak-sim runs a configurable FasTrak deployment and reports
+// what the rule manager does: a rack of servers, a set of tenant VM pairs
+// with request/response services at different rates, and periodic status
+// lines showing which flows won the express lane.
+//
+// Usage:
+//
+//	fastrak-sim [-servers 4] [-tenants 3] [-flows 6] [-tcam 16]
+//	            [-duration 5s] [-epoch 250ms] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/host"
+	"repro/internal/packet"
+)
+
+func main() {
+	servers := flag.Int("servers", 4, "physical servers in the rack")
+	racks := flag.Int("racks", 1, "racks (each with servers/racks machines and its own TOR controller)")
+	tenants := flag.Int("tenants", 3, "number of tenants")
+	flows := flag.Int("flows", 6, "services per tenant (each gets a client/server VM pair)")
+	tcam := flag.Int("tcam", 16, "ToR hardware rule capacity")
+	duration := flag.Duration("duration", 5*time.Second, "virtual time to simulate")
+	epoch := flag.Duration("epoch", 250*time.Millisecond, "measurement epoch T")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	opts := fastrak.Options{
+		Servers:      *servers,
+		TCAMCapacity: *tcam,
+		Seed:         *seed,
+		Controller:   fastrak.ControllerOptions{Epoch: *epoch},
+	}
+	if *racks > 1 {
+		opts.Racks = *racks
+		opts.ServersPerRack = (*servers + *racks - 1) / *racks
+	}
+	d, err := fastrak.NewDeployment(opts)
+	if err != nil {
+		panic(err)
+	}
+
+	// Each tenant gets `flows` services; service i of tenant t runs at
+	// a rate that grows with i, so the DE has a clear ranking to find.
+	type svc struct {
+		tenant uint32
+		client *host.VM
+		rate   time.Duration
+		dst    packet.IP
+		port   uint16
+	}
+	var svcs []svc
+	for t := 0; t < *tenants; t++ {
+		tenant := uint32(10 + t)
+		for i := 0; i < *flows; i++ {
+			cIP := fmt.Sprintf("10.%d.0.%d", t, 10+2*i)
+			sIP := fmt.Sprintf("10.%d.0.%d", t, 11+2*i)
+			client, err := d.AddVM((2*i)%*servers, tenant, cIP, fastrak.VMOptions{VCPUs: 2})
+			if err != nil {
+				panic(err)
+			}
+			server, err := d.AddVM((2*i+1)%*servers, tenant, sIP, fastrak.VMOptions{VCPUs: 2})
+			if err != nil {
+				panic(err)
+			}
+			port := uint16(9000 + i)
+			server.BindApp(port, host.AppFunc(func(vm *host.VM, p *packet.Packet) {
+				vm.Send(p.IP.Src, port, p.TCP.SrcPort, 600, host.SendOptions{Seq: p.Meta.Seq}, nil)
+			}))
+			// Rates: 100/s for service 0 up to ~100*3^i.
+			period := 10 * time.Millisecond / time.Duration(1<<uint(i))
+			svcs = append(svcs, svc{tenant: tenant, client: client, rate: period, dst: server.Key.IP, port: port})
+		}
+	}
+	for _, s := range svcs {
+		s := s
+		d.Cluster.Eng.Every(s.rate, func() {
+			s.client.Send(s.dst, 40000, s.port, 64, host.SendOptions{}, nil)
+		})
+	}
+
+	d.Start()
+	steps := 10
+	for i := 0; i < steps; i++ {
+		d.Run(*duration / time.Duration(steps))
+		used, capacity := d.HardwareRules()
+		fmt.Printf("t=%-8v hw-rules=%d/%d offloaded=%d\n",
+			d.Now().Round(time.Millisecond), used, capacity, len(d.Offloaded()))
+	}
+	d.Stop()
+
+	fmt.Println("\nfinal express-lane set (highest-pps services win the TCAM):")
+	for _, p := range d.Offloaded() {
+		fmt.Println("  ", p)
+	}
+	msgs, bytes, samples := d.Manager.ControlStats()
+	fmt.Printf("\ncontrol plane: %d messages, %d bytes, %d datapath samples\n", msgs, bytes, samples)
+}

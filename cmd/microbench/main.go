@@ -1,0 +1,77 @@
+// Command microbench regenerates the paper's Section 3 microbenchmarks on
+// the emulated testbed:
+//
+//	Figure 3 (a-e): baseline network performance per configuration and
+//	                application data size,
+//	Figure 4 (a,b): CPU required to drive each interface,
+//	Figure 5 (a-e): combined tunneling+rate-limiting vs SR-IOV.
+//
+// Usage:
+//
+//	microbench [-figure 3|4a|4b|5|all] [-window 300ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate: 3, 4a, 4b, 5, all")
+	window := flag.Duration("window", 300*time.Millisecond, "measurement window per data point")
+	flag.Parse()
+	experiments.MicroDuration = *window
+
+	switch *figure {
+	case "3":
+		printNetwork("Figure 3: baseline network performance", experiments.Fig3())
+	case "4a":
+		printCPU("Figure 4(a): baseline CPU overhead", experiments.Fig4a())
+	case "4b":
+		printCPU("Figure 4(b): combined CPU overhead", experiments.Fig4b())
+	case "5":
+		printNetwork("Figure 5: combined network performance", experiments.Fig5())
+	case "all":
+		printNetwork("Figure 3: baseline network performance", experiments.Fig3())
+		printCPU("Figure 4(a): baseline CPU overhead", experiments.Fig4a())
+		printCPU("Figure 4(b): combined CPU overhead", experiments.Fig4b())
+		printNetwork("Figure 5: combined network performance", experiments.Fig5())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+func printNetwork(title string, rows []experiments.MicroResult) {
+	fmt.Println(title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "config\tsize(B)\tthroughput(Gbps)\tavg-lat\tp99-lat\tburst-TPS\tburst-lat")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%v\t%v\t%.0f\t%v\n",
+			r.Config, r.Size, r.ThroughputGbps,
+			r.AvgLatency.Round(time.Microsecond), r.P99Latency.Round(time.Microsecond),
+			r.BurstTPS, r.BurstLatency.Round(time.Microsecond))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func printCPU(title string, rows []experiments.CPUResult) {
+	fmt.Println(title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "config\tsize(B)\tCPUs\tthroughput(Gbps)\tCPUs/Gbps")
+	for _, r := range rows {
+		perGbps := 0.0
+		if r.ThroughputGbps > 0 {
+			perGbps = r.CPUs / r.ThroughputGbps
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\n", r.Config, r.Size, r.CPUs, r.ThroughputGbps, perGbps)
+	}
+	w.Flush()
+	fmt.Println()
+}

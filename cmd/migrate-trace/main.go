@@ -1,0 +1,79 @@
+// Command migrate-trace regenerates Figure 12: the TCP sequence
+// progression of a bulk flow as FasTrak shifts it from the hypervisor path
+// onto the SR-IOV express lane. The output is a gnuplot-ready series
+// (time, sequence, event) plus the §6.2.2 netstat-style summary.
+//
+// Usage:
+//
+//	migrate-trace [-shift 20ms] [-every 50] [-pcap trace.pcap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pcap"
+	"repro/internal/tcpmodel"
+)
+
+func main() {
+	shift := flag.Duration("shift", 20*time.Millisecond, "when to offload the flow")
+	every := flag.Int("every", 50, "print every Nth in-order data point (recovery events always print)")
+	pcapPath := flag.String("pcap", "", "also capture the receiver's access link to this pcap file")
+	flag.Parse()
+
+	var capture *pcap.Writer
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w, err := pcap.NewWriter(f, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		capture = w
+	}
+
+	res := experiments.Fig12Captured(*shift, capture)
+	if capture != nil {
+		fmt.Printf("# captured %d frames to %s\n", capture.Packets(), *pcapPath)
+	}
+
+	fmt.Printf("# flow migration trace: %d-byte transfer, shifted at %v\n", res.TotalBytes, res.ShiftAt)
+	fmt.Printf("# time(ms)  seq  event\n")
+	n := 0
+	for _, tp := range res.Trace {
+		interesting := tp.Kind != tcpmodel.TraceData && tp.Kind != tcpmodel.TraceAck
+		if tp.Kind == tcpmodel.TraceData {
+			n++
+			if n%*every != 0 {
+				continue
+			}
+		} else if !interesting {
+			continue
+		}
+		fmt.Printf("%.3f  %d  %s\n", float64(tp.At)/float64(time.Millisecond), tp.Seq, tp.Kind)
+	}
+
+	fmt.Printf("\n# summary (cf. §6.2.2: one delayed ack, TCP recovered twice, 30 fast retransmits, no timeouts)\n")
+	fmt.Printf("segments sent:      %d\n", res.Stats.Segments)
+	fmt.Printf("retransmissions:    %d\n", res.Stats.Retransmits)
+	fmt.Printf("fast retransmits:   %d\n", res.Stats.FastRetransmits)
+	fmt.Printf("timeouts:           %d\n", res.Stats.Timeouts)
+	fmt.Printf("dup acks seen:      %d\n", res.Stats.DupAcksSeen)
+	fmt.Printf("delayed acks:       %d\n", res.Stats.DelayedAcks)
+	fmt.Printf("reordered arrivals: %d\n", res.Stats.Reordered)
+	if res.Finished > 0 {
+		rate := float64(res.TotalBytes) * 8 / res.Finished.Seconds() / 1e9
+		fmt.Printf("completed at:       %v (%.2f Gbps)\n", res.Finished.Round(time.Millisecond), rate)
+	} else {
+		fmt.Printf("completed:          no (within the run budget)\n")
+	}
+}

@@ -1,0 +1,96 @@
+// Multi-tenant isolation: two tenants with overlapping RFC 1918 addresses
+// (requirement C1), explicit-allow security rules enforced on both paths
+// (C2), and purchased rate limits split across the VIF and VF by FPS
+// (I3). A malicious flow that sneaks onto the express lane without a
+// hardware rule is dropped at the ToR.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/host"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+func main() {
+	d, err := fastrak.NewDeployment(fastrak.Options{Servers: 2, Seed: 11})
+	if err != nil {
+		panic(err)
+	}
+
+	// Both tenants use 10.0.0.1/10.0.0.2 — overlapping address spaces.
+	mkPair := func(tenant uint32) (*host.VM, *host.VM) {
+		client, err := d.AddVM(0, tenant, "10.0.0.1", fastrak.VMOptions{})
+		if err != nil {
+			panic(err)
+		}
+		server, err := d.AddVM(1, tenant, "10.0.0.2", fastrak.VMOptions{
+			SecurityRules: []fastrak.SecurityRule{
+				{DstPort: 8080, Allow: true, Priority: 1}, // web allowed
+				// everything else default-denied
+			},
+			EgressBps:  500e6,
+			IngressBps: 500e6,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return client, server
+	}
+	c3, s3 := mkPair(3)
+	c4, s4 := mkPair(4)
+
+	counts := map[string]int{}
+	serve := func(name string, vm *host.VM) {
+		vm.BindApp(8080, host.AppFunc(func(v *host.VM, p *packet.Packet) {
+			counts[name]++
+			v.Send(p.IP.Src, 8080, p.TCP.SrcPort, 200, host.SendOptions{Seq: p.Meta.Seq}, nil)
+		}))
+		vm.BindApp(22, host.AppFunc(func(*host.VM, *packet.Packet) {
+			counts[name+"-ssh!"]++ // must never fire: default deny
+		}))
+	}
+	serve("tenant3", s3)
+	serve("tenant4", s4)
+
+	d.Start()
+	d.Cluster.Eng.Every(time.Millisecond, func() {
+		c3.Send(s3.Key.IP, 40000, 8080, 64, host.SendOptions{}, nil)
+		c4.Send(s4.Key.IP, 40000, 8080, 64, host.SendOptions{}, nil)
+		c3.Send(s3.Key.IP, 40001, 22, 64, host.SendOptions{}, nil) // denied
+	})
+	d.Run(2 * time.Second)
+
+	fmt.Println("deliveries with overlapping tenant addresses:")
+	fmt.Printf("  tenant 3 web: %d   tenant 4 web: %d\n", counts["tenant3"], counts["tenant4"])
+	fmt.Printf("  denied ssh deliveries: %d (must be 0)\n", counts["tenant3-ssh!"]+counts["tenant4-ssh!"])
+
+	// Malicious express-lane attempt: program the placer directly
+	// (as a compromised VM could) without any hardware ACL.
+	evil := rules.Pattern{Tenant: 3, DstPort: 9999}
+	c3.Placer.HandleMessage(&openflow.FlowMod{
+		Command: openflow.FlowAdd, Pattern: evil, Out: openflow.PathVF, Priority: 99,
+	}, 1, nil)
+	s3.BindApp(9999, host.AppFunc(func(*host.VM, *packet.Packet) {
+		counts["evil!"]++
+	}))
+	before, _, _, _, _, _ := d.Cluster.TOR.Counters()
+	for i := 0; i < 50; i++ {
+		c3.Send(s3.Key.IP, 40002, 9999, 64, host.SendOptions{}, nil)
+	}
+	d.Run(500 * time.Millisecond)
+	aclDrops, _, _, _, _, _ := d.Cluster.TOR.Counters()
+	fmt.Printf("\nmalicious express-lane flow: delivered=%d, dropped at ToR=%d\n",
+		counts["evil!"], aclDrops-before)
+
+	// FPS rate splits installed for the limited VMs.
+	fmt.Println("\nFasTrak manages both tenants' rules as one set; current hardware rules:")
+	for _, p := range d.Offloaded() {
+		fmt.Println("  ", p)
+	}
+	d.Stop()
+}

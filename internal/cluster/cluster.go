@@ -1,0 +1,193 @@
+// Package cluster assembles the emulated testbed: servers with SR-IOV
+// NICs and vswitches, access links to an L3 ToR, and tenant/VM
+// provisioning — the role the lab setup of §5.1 plays (six HP servers on
+// a Nexus ToR). A Cluster is pure substrate: the FasTrak rule manager
+// (internal/core) attaches on top of it.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/host"
+	"repro/internal/model"
+	"repro/internal/packet"
+	"repro/internal/qos"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/tor"
+	"repro/internal/vswitch"
+)
+
+// Config describes a testbed to build.
+type Config struct {
+	// Servers is the number of physical machines (the paper uses six).
+	Servers int
+	// CostModel parameterizes all timing; zero value means
+	// model.Default().
+	CostModel *model.CostModel
+	// VSwitchCfg selects the software path's functions on all servers.
+	VSwitchCfg model.VSwitchConfig
+	// TCAMCapacity is the ToR's hardware rule budget (entries).
+	TCAMCapacity int
+	// Seed drives all randomness.
+	Seed int64
+	// QoSAccessLinks enables the ToR's egress QoS scheduler on access
+	// links; otherwise they are FIFO.
+	QoSAccessLinks bool
+}
+
+// Cluster is an assembled testbed.
+type Cluster struct {
+	Eng *sim.Engine
+	CM  *model.CostModel
+	// TOR is the (first) rack's switch; TORs lists every rack's (see
+	// NewMulti for multi-rack testbeds).
+	TOR     *tor.TOR
+	TORs    []*tor.TOR
+	Servers []*host.Server
+
+	vlanByTenant map[packet.TenantID]packet.VLANID
+	nextVLAN     packet.VLANID
+	// rackOf maps server index → rack index (empty = all rack 0).
+	rackOf []int
+	// downlinks holds each server's ToR→server link, for tap insertion.
+	downlinks []*fabric.Link
+}
+
+// TapServer interposes a capture/transform port on the ToR→server link of
+// server idx: wrap receives the current destination (the server's NIC)
+// and returns the port the link should deliver to instead.
+func (c *Cluster) TapServer(idx int, wrap func(fabric.Port) fabric.Port) error {
+	if idx < 0 || idx >= len(c.downlinks) {
+		return fmt.Errorf("cluster: no server %d", idx)
+	}
+	c.downlinks[idx].SetDst(wrap(c.Servers[idx].NIC))
+	return nil
+}
+
+// ServerIP returns the provider address of server i.
+func ServerIP(i int) packet.IP {
+	return packet.MakeIP(192, 168, 1, byte(10+i))
+}
+
+// TORIP is the ToR loopback address.
+var TORIP = packet.MustParseIP("192.168.100.1")
+
+// New builds the testbed.
+func New(cfg Config) *Cluster {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 2
+	}
+	if cfg.TCAMCapacity <= 0 {
+		cfg.TCAMCapacity = 2000
+	}
+	cm := cfg.CostModel
+	if cm == nil {
+		def := model.Default()
+		cm = &def
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	c := &Cluster{
+		Eng: eng, CM: cm,
+		TOR:          tor.New(eng, TORIP, cfg.TCAMCapacity, cm.TORLatency),
+		vlanByTenant: make(map[packet.TenantID]packet.VLANID),
+		nextVLAN:     100,
+	}
+	c.TORs = []*tor.TOR{c.TOR}
+	for i := 0; i < cfg.Servers; i++ {
+		ip := ServerIP(i)
+		// Server → ToR uplink.
+		up := fabric.NewLink(eng, cm.LinkBps, cm.PropDelay, nil, c.TOR)
+		srv := host.NewServer(eng, cm, cfg.VSwitchCfg, i, ip, up)
+		// ToR → server downlink, optionally QoS-scheduled.
+		var q fabric.Queue
+		if cfg.QoSAccessLinks {
+			q = qos.NewScheduler(qos.DefaultConfig())
+		}
+		down := fabric.NewLink(eng, cm.LinkBps, cm.PropDelay, q, srv.NIC)
+		c.TOR.AddRoute(ip, fabric.LinkPort{L: down})
+		c.Servers = append(c.Servers, srv)
+		c.downlinks = append(c.downlinks, down)
+	}
+	return c
+}
+
+// VLANFor returns (allocating if needed) the tenant's access VLAN.
+func (c *Cluster) VLANFor(tenant packet.TenantID) packet.VLANID {
+	if v, ok := c.vlanByTenant[tenant]; ok {
+		return v
+	}
+	v := c.nextVLAN
+	c.nextVLAN++
+	c.vlanByTenant[tenant] = v
+	if err := c.configureTenantEverywhere(tenant, v); err != nil {
+		panic(fmt.Sprintf("cluster: configure tenant: %v", err))
+	}
+	return v
+}
+
+// AddVM provisions a tenant VM on server idx: VIF+VF attachment, ToR VRF
+// registration, GRE mapping (home ToR), and VXLAN mappings on every other
+// server's vswitch so the software path can reach it.
+func (c *Cluster) AddVM(idx int, tenant packet.TenantID, ip packet.IP, vcpus int, r *rules.VMRules) (*host.VM, error) {
+	if idx < 0 || idx >= len(c.Servers) {
+		return nil, fmt.Errorf("cluster: no server %d", idx)
+	}
+	srv := c.Servers[idx]
+	vlan := c.VLANFor(tenant)
+	vm, err := srv.AddVM(host.VMConfig{Tenant: tenant, IP: ip, VLAN: vlan, VCPUs: vcpus, Rules: r})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.registerVMEverywhere(idx, tenant, ip); err != nil {
+		return nil, err
+	}
+	// Software-path directory: every vswitch learns the VM's server.
+	m := rules.TunnelMapping{Tenant: tenant, VMIP: ip, Remote: srv.IP}
+	for _, s := range c.Servers {
+		s.VSwitch.SetTunnel(m)
+	}
+	return vm, nil
+}
+
+// MoveVM migrates a VM from one server to another, updating tunnel
+// mappings at source and destination (requirement S4). The FasTrak rule
+// manager is responsible for pulling offloaded rules back *before* calling
+// this (§4.1.2).
+func (c *Cluster) MoveVM(fromIdx, toIdx int, tenant packet.TenantID, ip packet.IP) (*host.VM, error) {
+	if fromIdx == toIdx {
+		return nil, fmt.Errorf("cluster: migration to same server")
+	}
+	src := c.Servers[fromIdx]
+	old, err := src.RemoveVM(vswitch.VMKey{Tenant: tenant, IP: ip})
+	if err != nil {
+		return nil, err
+	}
+	c.unregisterVMEverywhere(fromIdx, tenant, ip)
+	vm, err := c.Servers[toIdx].AddVM(host.VMConfig{
+		Tenant: tenant, IP: ip, VLAN: old.VLAN, VCPUs: old.CPU.Slots(), Rules: old.Rules,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.registerVMEverywhere(toIdx, tenant, ip); err != nil {
+		return nil, err
+	}
+	m := rules.TunnelMapping{Tenant: tenant, VMIP: ip, Remote: c.Servers[toIdx].IP}
+	for _, s := range c.Servers {
+		s.VSwitch.SetTunnel(m)
+	}
+	return vm, nil
+}
+
+// FindVM locates a VM by tenant and IP.
+func (c *Cluster) FindVM(tenant packet.TenantID, ip packet.IP) (*host.VM, bool) {
+	key := vswitch.VMKey{Tenant: tenant, IP: ip}
+	for _, s := range c.Servers {
+		if vm, ok := s.VMs[key]; ok {
+			return vm, true
+		}
+	}
+	return nil, false
+}

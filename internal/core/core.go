@@ -1,0 +1,230 @@
+// Package core implements FasTrak's rule manager — the paper's primary
+// contribution (§4.3): "a distributed system of controllers ... a local
+// controller for every physical server, and a TOR controller for every
+// TOR switch". Local controllers measure VM network demand by polling the
+// vswitch datapath and program flow placers; the TOR controller merges
+// demand reports with hardware counters, selects the most-frequently-used
+// high-pps flows for offload within the ToR's rule budget, and manages the
+// hardware rule set (ACLs, tunnel mappings, QoS, rate limits) as one
+// unified set with the software rules.
+//
+// All controller communication uses the binary control protocol of
+// internal/openflow over deterministic in-simulation transports, so every
+// control exchange round-trips through real wire encoding.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/measure"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/vswitch"
+)
+
+// Config parameterizes the rule manager.
+type Config struct {
+	// Measure configures each ME (epoch T, sample gap t, N, M,
+	// aggregation policy).
+	Measure measure.Config
+	// ControlDelay is the one-way latency of control-plane messages
+	// (controller ↔ controller and controller ↔ flow placer).
+	ControlDelay time.Duration
+	// MinScore filters flows not worth a hardware entry.
+	MinScore float64
+	// HysteresisRatio guards against offload thrashing (≥1).
+	HysteresisRatio float64
+	// MaxOffloads caps how many patterns may be in hardware at once
+	// (0 = limited only by TCAM capacity). The paper's Table 4
+	// experiment runs with a cap of 1 ("we have modified FasTrak to
+	// offload only one").
+	MaxOffloads int
+	// PriorityOf returns the tenant preference multiplier c (§4.3.2);
+	// nil means 1 for everyone.
+	PriorityOf func(packet.TenantID) float64
+	// Groups lists all-or-nothing pattern sets — tenant preferences for
+	// partition-aggregate applications whose flows must be "handled in
+	// hardware, or none at all" (§4.3.2). SetAtomicGroup appends.
+	Groups [][]rules.Pattern
+}
+
+// DefaultConfig returns the prototype's settings (§5.2) with a fast
+// epoch.
+func DefaultConfig() Config {
+	return Config{
+		Measure:         measure.DefaultConfig(),
+		ControlDelay:    100 * time.Microsecond,
+		HysteresisRatio: 1.2,
+	}
+}
+
+// Manager is a FasTrak deployment over a cluster: one TOR controller per
+// ToR switch and one local controller per server (§4.3.3: "There is a
+// local controller for every physical server ... and a TOR controller for
+// every TOR switch"). Each local controller coordinates only with its
+// rack's TOR controller, keeping decisions rack-local and the rule
+// manager "inherently scalable".
+type Manager struct {
+	Cluster *cluster.Cluster
+	Cfg     Config
+
+	// TORCtl is rack 0's controller (the only one on single-rack
+	// clusters); TORCtls lists every rack's.
+	TORCtl  *TORController
+	TORCtls []*TORController
+	Locals  []*LocalController
+
+	// limits registers tenant-purchased aggregate rates per VM.
+	limits map[vswitch.VMKey]aggregateLimit
+
+	started bool
+}
+
+type aggregateLimit struct {
+	egressBps, ingressBps float64
+}
+
+// Attach builds a rule manager over the cluster. Call Start to begin
+// measurement and offloading.
+func Attach(c *cluster.Cluster, cfg Config) *Manager {
+	if cfg.ControlDelay <= 0 {
+		cfg.ControlDelay = 100 * time.Microsecond
+	}
+	if cfg.HysteresisRatio < 1 {
+		cfg.HysteresisRatio = 1
+	}
+	m := &Manager{
+		Cluster: c,
+		Cfg:     cfg,
+		limits:  make(map[vswitch.VMKey]aggregateLimit),
+	}
+	for _, t := range c.TORs {
+		m.TORCtls = append(m.TORCtls, newTORController(m, t))
+	}
+	m.TORCtl = m.TORCtls[0]
+	for idx, srv := range c.Servers {
+		lc := newLocalController(m, srv)
+		m.Locals = append(m.Locals, lc)
+		// Bidirectional control channel local ↔ the rack's TOR
+		// controller.
+		tc := m.TORCtls[c.RackOf(idx)]
+		toTOR, toLocal := openflow.Pair(c.Eng, cfg.ControlDelay, lc, tc)
+		lc.toTOR = toTOR
+		tc.toLocals = append(tc.toLocals, toLocal)
+	}
+	return m
+}
+
+// Start begins periodic measurement and decision-making.
+func (m *Manager) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	for _, lc := range m.Locals {
+		lc.start()
+	}
+	for _, tc := range m.TORCtls {
+		tc.start()
+	}
+}
+
+// Stop halts all controllers.
+func (m *Manager) Stop() {
+	if !m.started {
+		return
+	}
+	m.started = false
+	for _, lc := range m.Locals {
+		lc.stop()
+	}
+	for _, tc := range m.TORCtls {
+		tc.stop()
+	}
+}
+
+// SetAtomicGroup registers an all-or-nothing offload group (§4.3.2): the
+// DE offloads all the given patterns together or none of them.
+func (m *Manager) SetAtomicGroup(patterns []rules.Pattern) {
+	m.Cfg.Groups = append(m.Cfg.Groups, patterns)
+}
+
+// SetVMLimit registers a VM's purchased aggregate transmit/receive rates
+// (requirement I3). FasTrak splits them across VIF and VF with FPS every
+// control interval.
+func (m *Manager) SetVMLimit(tenant packet.TenantID, vmIP packet.IP, egressBps, ingressBps float64) {
+	key := vswitch.VMKey{Tenant: tenant, IP: vmIP}
+	m.limits[key] = aggregateLimit{egressBps: egressBps, ingressBps: ingressBps}
+	// Until the first FPS interval, install a conservative even split.
+	for _, lc := range m.Locals {
+		if _, ok := lc.server.VMs[key]; ok {
+			lc.installInitialSplit(key, egressBps, ingressBps)
+		}
+	}
+}
+
+// MigrateVM performs the §4.1.2 migration protocol: offloaded flows are
+// first returned to the hypervisor, the network demand profile travels
+// with the VM, and after the move the flows become eligible for offload
+// at the destination.
+func (m *Manager) MigrateVM(fromIdx, toIdx int, tenant packet.TenantID, vmIP packet.IP) error {
+	// 1. Pull every offloaded rule touching this VM back to software —
+	// at every rack, since remote racks hold the matching ACLs for
+	// cross-rack express lanes.
+	for _, tc := range m.TORCtls {
+		tc.demoteVM(tenant, vmIP)
+	}
+	// 2. Export the demand profile from the source local controller.
+	var prof measure.Profile
+	if fromIdx >= 0 && fromIdx < len(m.Locals) {
+		prof = m.Locals[fromIdx].me.ProfileFor(tenant, vmIP)
+	}
+	// 3. Move the VM (tunnel mappings update at source and destination).
+	if _, err := m.Cluster.MoveVM(fromIdx, toIdx, tenant, vmIP); err != nil {
+		return err
+	}
+	// 4. Seed the destination ME so re-offload can happen on the next
+	// control interval ("This network demand profile informs FasTrak of
+	// the network characteristics of any new VM", §4.3.1).
+	if toIdx >= 0 && toIdx < len(m.Locals) {
+		m.Locals[toIdx].me.ImportProfile(prof)
+	}
+	return nil
+}
+
+// OffloadedPatterns returns the union of patterns currently placed in
+// hardware across all ToRs, sorted and de-duplicated.
+func (m *Manager) OffloadedPatterns() []rules.Pattern {
+	seen := make(map[rules.Pattern]bool)
+	var out []rules.Pattern
+	for _, tc := range m.TORCtls {
+		for _, p := range tc.offloadedList() {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ControlStats reports control-plane work done so far: messages and
+// bytes on all transports, ME samples taken (§6.2.2's controller cost).
+func (m *Manager) ControlStats() (messages, bytes, samples uint64) {
+	for _, lc := range m.Locals {
+		messages += lc.toTOR.Sent
+		bytes += lc.toTOR.SentBytes
+		samples += lc.me.Samples
+	}
+	for _, tc := range m.TORCtls {
+		for _, tr := range tc.toLocals {
+			messages += tr.Sent
+			bytes += tr.SentBytes
+		}
+	}
+	return
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/decision"
+	"repro/internal/fps"
+	"repro/internal/host"
+	"repro/internal/measure"
+	"repro/internal/openflow"
+	"repro/internal/rules"
+	"repro/internal/vswitch"
+)
+
+// LocalController runs on each physical server (§4.3): its ME polls the
+// vswitch datapath for active-flow statistics; its DE programs co-resident
+// VMs' flow placers with redirection rules and computes the FPS rate-limit
+// split for each VM's interface pair.
+type LocalController struct {
+	mgr    *Manager
+	server *host.Server
+	me     *measure.Engine
+	toTOR  *openflow.Transport
+
+	// limiters holds per-VM FPS state.
+	limiters map[vswitch.VMKey]*decision.Limiter
+	// lastHW caches the TOR's latest hardware-rate observations.
+	lastHW map[vswitch.VMKey]openflow.VMRate
+	// pendingSplits carries computed hardware limits to the TOR in the
+	// next demand report.
+	pendingSplits []openflow.RateSplit
+	// installed tracks placer rules this controller installed, per
+	// pattern, so demotions delete exactly what was added.
+	installed map[rules.Pattern]bool
+
+	// FlowMods counts placer programming operations (controller cost).
+	FlowMods uint64
+}
+
+func newLocalController(m *Manager, srv *host.Server) *LocalController {
+	lc := &LocalController{
+		mgr:       m,
+		server:    srv,
+		limiters:  make(map[vswitch.VMKey]*decision.Limiter),
+		lastHW:    make(map[vswitch.VMKey]openflow.VMRate),
+		installed: make(map[rules.Pattern]bool),
+	}
+	lc.me = measure.New(m.Cluster.Eng, m.Cfg.Measure, lc.readDatapath)
+	lc.me.ServerID = uint32(srv.ID)
+	lc.me.OnReport = lc.sendReport
+	return lc
+}
+
+func (lc *LocalController) start() { lc.me.Start() }
+func (lc *LocalController) stop()  { lc.me.Stop() }
+
+// readDatapath snapshots the vswitch's per-flow counters (§5.2: "queries
+// the OVS datapath for active flow statistics").
+func (lc *LocalController) readDatapath() []measure.Reading {
+	snap := lc.server.VSwitch.Snapshot()
+	out := make([]measure.Reading, len(snap))
+	for i, s := range snap {
+		out[i] = measure.Reading{Key: s.Key, Packets: s.Packets, Bytes: s.Bytes}
+	}
+	return out
+}
+
+// sendReport forwards the ME's demand report, attaching the FPS splits
+// computed since the last interval. Large reports are chunked below the
+// protocol's frame limit; the TOR controller merges chunks per interval.
+func (lc *LocalController) sendReport(rep openflow.DemandReport) {
+	rep.Splits = lc.pendingSplits
+	lc.pendingSplits = nil
+	for _, chunk := range openflow.ChunkDemandReport(rep) {
+		chunk := chunk
+		lc.toTOR.Send(&chunk)
+	}
+}
+
+// HandleMessage implements openflow.Handler for TOR → local messages.
+func (lc *LocalController) HandleMessage(msg openflow.Message, xid uint32, reply openflow.ReplyFunc) {
+	switch m := msg.(type) {
+	case *openflow.OffloadDecision:
+		lc.applyDecision(m)
+	case openflow.EchoRequest:
+		reply(openflow.EchoReply{}, xid)
+	}
+}
+
+// applyDecision programs flow placers and recomputes rate splits.
+func (lc *LocalController) applyDecision(d *openflow.OffloadDecision) {
+	for _, r := range d.HWRates {
+		lc.lastHW[vswitch.VMKey{Tenant: r.Tenant, IP: r.VMIP}] = r
+	}
+	for _, a := range d.Actions {
+		if a.Offload {
+			lc.installPlacement(a.Pattern)
+		} else {
+			lc.removePlacement(a.Pattern)
+		}
+	}
+	lc.adjustRateLimits()
+}
+
+// installPlacement adds the VF redirection rule to every co-resident VM
+// of the pattern's tenant whose traffic the pattern could cover. The
+// vswitch fast path is invalidated for covered flows so demand for them
+// stops being double-counted.
+func (lc *LocalController) installPlacement(p rules.Pattern) {
+	if lc.installed[p] {
+		return
+	}
+	mod := &openflow.FlowMod{Command: openflow.FlowAdd, Pattern: p, Out: openflow.PathVF, Priority: 10}
+	if lc.sendToPlacers(p, mod) {
+		lc.installed[p] = true
+		lc.server.VSwitch.Invalidate(p)
+	}
+}
+
+func (lc *LocalController) removePlacement(p rules.Pattern) {
+	if !lc.installed[p] {
+		return
+	}
+	mod := &openflow.FlowMod{Command: openflow.FlowDelete, Pattern: p}
+	lc.sendToPlacers(p, mod)
+	delete(lc.installed, p)
+}
+
+// sendToPlacers delivers a FlowMod to matching VMs' placers after the
+// control delay (the placer lives in the VM kernel; programming it is an
+// OpenFlow exchange, §4.1.1). VMs are visited in address order so event
+// scheduling — and therefore the whole simulation — is reproducible.
+// Reports whether any placer was programmed.
+func (lc *LocalController) sendToPlacers(p rules.Pattern, mod *openflow.FlowMod) bool {
+	any := false
+	for _, vm := range sortedVMs(lc.server) {
+		if vm.Key.Tenant != p.Tenant && !p.AnyTenant {
+			continue
+		}
+		vm := vm
+		wire := openflow.Encode(mod, 0)
+		lc.FlowMods++
+		lc.mgr.Cluster.Eng.After(lc.mgr.Cfg.ControlDelay, func() {
+			decoded, xid, _, err := openflow.Decode(wire)
+			if err != nil {
+				panic("core: flowmod decode: " + err.Error())
+			}
+			vm.Placer.HandleMessage(decoded, xid, func(openflow.Message, uint32) {})
+		})
+		any = true
+	}
+	return any
+}
+
+// installInitialSplit installs a 50/50 split before the first FPS
+// adjustment.
+func (lc *LocalController) installInitialSplit(key vswitch.VMKey, egressBps, ingressBps float64) {
+	lc.limiters[key] = decision.NewLimiter(egressBps, ingressBps)
+	half := func(v float64) float64 { return v / 2 }
+	_ = lc.server.VSwitch.SetVIFLimits(key, half(egressBps), half(ingressBps))
+	lc.pendingSplits = append(lc.pendingSplits, openflow.RateSplit{
+		Tenant: key.Tenant, VMIP: key.IP,
+		EgressHardBps:  half(egressBps),
+		IngressHardBps: half(ingressBps),
+	})
+}
+
+// sortedVMs returns the server's VMs in deterministic (tenant, IP) order.
+func sortedVMs(srv *host.Server) []*host.VM {
+	out := make([]*host.VM, 0, len(srv.VMs))
+	for _, vm := range srv.VMs {
+		out = append(out, vm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Tenant != out[j].Key.Tenant {
+			return out[i].Key.Tenant < out[j].Key.Tenant
+		}
+		return out[i].Key.IP < out[j].Key.IP
+	})
+	return out
+}
+
+// adjustRateLimits runs FPS for each limited co-resident VM: software
+// demand from the vswitch meters, hardware demand from the TOR's
+// observations, then installs Rs locally and queues Rh for the TOR
+// (§4.3.2).
+func (lc *LocalController) adjustRateLimits() {
+	keys := make([]vswitch.VMKey, 0, len(lc.mgr.limits))
+	for key := range lc.mgr.limits {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Tenant != keys[j].Tenant {
+			return keys[i].Tenant < keys[j].Tenant
+		}
+		return keys[i].IP < keys[j].IP
+	})
+	for _, key := range keys {
+		if _, ok := lc.server.VMs[key]; !ok {
+			continue
+		}
+		lim, ok := lc.limiters[key]
+		if !ok {
+			agg := lc.mgr.limits[key]
+			lim = decision.NewLimiter(agg.egressBps, agg.ingressBps)
+			lc.limiters[key] = lim
+		}
+		egSoft, inSoft, _ := lc.server.VSwitch.VIFRates(key)
+		hw := lc.lastHW[key]
+		split := lim.Adjust(
+			fps.Demand{RateBps: egSoft},
+			fps.Demand{RateBps: hw.EgressBps, MaxedOut: hw.EgressMaxed},
+			fps.Demand{RateBps: inSoft},
+			fps.Demand{RateBps: hw.IngressBps, MaxedOut: hw.IngressMaxed},
+		)
+		split.Tenant = key.Tenant
+		split.VMIP = key.IP
+		_ = lc.server.VSwitch.SetVIFLimits(key, split.EgressSoftBps, split.IngressSoftBps)
+		lc.pendingSplits = append(lc.pendingSplits, split)
+	}
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/decision"
+	"repro/internal/host"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/tor"
+	"repro/internal/vswitch"
+)
+
+// TORController manages one ToR switch (§4.3): its ME polls offloaded-
+// flow counters in hardware, its DE merges them with the local
+// controllers' demand reports, picks the offload set within the TCAM
+// budget, installs/removes the hardware rules, and distributes decisions.
+type TORController struct {
+	mgr      *Manager
+	tor      *tor.TOR
+	toLocals []*openflow.Transport
+
+	reports map[uint32]openflow.DemandReport
+
+	offloaded map[rules.Pattern]bool
+	// prevHW holds last interval's TCAM counters for pps computation.
+	prevHW   map[rules.Pattern]uint64
+	prevHWAt sim.Time
+
+	// installedHW tracks hardware rate limits currently installed, for
+	// maxed-out detection.
+	installedHW map[vswitch.VMKey]openflow.RateSplit
+	// pendingRemove holds scheduled ACL removals for demoted patterns:
+	// the hardware rule outlives the placer redirect so in-flight
+	// express-lane packets are not blackholed (§4.1.2 orders pull-backs
+	// the same way: software first, then hardware).
+	pendingRemove map[rules.Pattern]*sim.Event
+
+	ticker  *sim.Ticker
+	stopped bool
+
+	// Decisions counts DE runs (controller-cost experiment).
+	Decisions uint64
+}
+
+func newTORController(m *Manager, t *tor.TOR) *TORController {
+	return &TORController{
+		mgr:           m,
+		tor:           t,
+		reports:       make(map[uint32]openflow.DemandReport),
+		offloaded:     make(map[rules.Pattern]bool),
+		prevHW:        make(map[rules.Pattern]uint64),
+		installedHW:   make(map[vswitch.VMKey]openflow.RateSplit),
+		pendingRemove: make(map[rules.Pattern]*sim.Event),
+	}
+}
+
+// controlInterval is C = T × N (§4.3.1).
+func (tc *TORController) controlInterval() time.Duration {
+	return tc.mgr.Cfg.Measure.Epoch * time.Duration(tc.mgr.Cfg.Measure.EpochsPerInterval)
+}
+
+func (tc *TORController) start() {
+	tc.stopped = false
+	// Offset the DE ticks so each interval's demand reports (epoch
+	// boundary + sample gap + control delay) have arrived.
+	offset := tc.mgr.Cfg.Measure.SampleGap + 4*tc.mgr.Cfg.ControlDelay + time.Millisecond
+	eng := tc.mgr.Cluster.Eng
+	eng.After(offset, func() {
+		if tc.stopped {
+			return
+		}
+		tc.ticker = eng.Every(tc.controlInterval(), tc.tick)
+	})
+}
+
+func (tc *TORController) stop() {
+	tc.stopped = true
+	if tc.ticker != nil {
+		tc.ticker.Stop()
+	}
+}
+
+// HandleMessage implements openflow.Handler for local → TOR messages.
+func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply openflow.ReplyFunc) {
+	switch m := msg.(type) {
+	case *openflow.DemandReport:
+		if cur, ok := tc.reports[m.ServerID]; ok && cur.Interval == m.Interval {
+			// A continuation chunk of this interval's report.
+			cur.Entries = append(cur.Entries, m.Entries...)
+			tc.reports[m.ServerID] = cur
+		} else {
+			tc.reports[m.ServerID] = *m
+		}
+		tc.applySplits(m.Splits)
+	case openflow.EchoRequest:
+		reply(openflow.EchoReply{}, xid)
+	}
+}
+
+// applySplits installs the hardware-side limits local DEs computed
+// ("rate limits on the SR-IOV VF are applied at the TOR", §4.1.4).
+func (tc *TORController) applySplits(splits []openflow.RateSplit) {
+	for _, s := range splits {
+		tc.tor.SetVFLimit(s.Tenant, s.VMIP, tor.Egress, s.EgressHardBps)
+		tc.tor.SetVFLimit(s.Tenant, s.VMIP, tor.Ingress, s.IngressHardBps)
+		tc.installedHW[vswitch.VMKey{Tenant: s.Tenant, IP: s.VMIP}] = s
+	}
+}
+
+// tick is one DE run: measure hardware flows, decide, apply, distribute.
+func (tc *TORController) tick() {
+	if tc.stopped {
+		return
+	}
+	tc.Decisions++
+	eng := tc.mgr.Cluster.Eng
+
+	// TOR ME: pps of offloaded entries from TCAM counter deltas.
+	hwPPS := make(map[rules.Pattern]float64)
+	elapsed := eng.Now() - tc.prevHWAt
+	if elapsed > 0 {
+		for _, st := range tc.tor.Stats() {
+			prev := tc.prevHW[st.Pattern]
+			if st.Packets > prev {
+				// Offloaded traffic passes the ACL twice (VF
+				// ingress and GRE termination); halve to get
+				// wire pps.
+				hwPPS[st.Pattern] = float64(st.Packets-prev) / 2 / elapsed.Seconds()
+			}
+			tc.prevHW[st.Pattern] = st.Packets
+		}
+	}
+	tc.prevHWAt = eng.Now()
+
+	// Budget: free TCAM space plus what offloaded entries would free.
+	budget := tc.tor.TCAMFree() + len(tc.offloaded)
+	if tc.mgr.Cfg.MaxOffloads > 0 && budget > tc.mgr.Cfg.MaxOffloads {
+		budget = tc.mgr.Cfg.MaxOffloads
+	}
+
+	reports := make([]openflow.DemandReport, 0, len(tc.reports))
+	ids := make([]uint32, 0, len(tc.reports))
+	for id := range tc.reports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		reports = append(reports, tc.reports[id])
+	}
+
+	cands := decision.CandidatesFromReports(reports, hwPPS, tc.mgr.Cfg.PriorityOf)
+	d := decision.Decide(decision.Config{
+		Budget:          budget,
+		MinScore:        tc.mgr.Cfg.MinScore,
+		HysteresisRatio: tc.mgr.Cfg.HysteresisRatio,
+		Groups:          tc.mgr.Cfg.Groups,
+	}, cands, tc.offloaded)
+
+	var actions []openflow.OffloadAction
+	for _, p := range d.Demote {
+		tc.removeHW(p)
+		actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: false})
+	}
+	for _, p := range d.Offload {
+		if tc.offloaded[p] {
+			continue // already in hardware
+		}
+		if tc.installHW(p) {
+			actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: true})
+		}
+	}
+
+	dec := &openflow.OffloadDecision{
+		Interval: uint32(tc.Decisions),
+		Actions:  actions,
+		HWRates:  tc.hwRates(),
+	}
+	for _, tr := range tc.toLocals {
+		tr.Send(dec)
+	}
+}
+
+// installHW constructs the most specific rule defining the policy for the
+// offloaded pattern and places it in the TCAM (§4.3). The verdict and QoS
+// queue come from the owning VM's rule set — the controllers "are aware
+// of all rules (and their priorities, in the case of conflicts)
+// associated with the VMs they control".
+func (tc *TORController) installHW(p rules.Pattern) bool {
+	action, queue := tc.policyFor(p)
+	if action != rules.Allow {
+		// Denied traffic gains nothing from hardware offload; the
+		// vswitch (or ToR default rule) already drops it.
+		return false
+	}
+	if ev, ok := tc.pendingRemove[p]; ok {
+		// Re-offloaded before the demotion's ACL removal fired: keep
+		// the existing hardware rule.
+		ev.Cancel()
+		delete(tc.pendingRemove, p)
+		tc.offloaded[p] = true
+		return true
+	}
+	err := tc.tor.InstallACL(&rules.TCAMEntry{
+		Pattern:  p,
+		Action:   rules.Allow,
+		Priority: 100,
+		Queue:    queue,
+	})
+	if err != nil {
+		return false
+	}
+	tc.offloaded[p] = true
+	return true
+}
+
+// removeHW demotes a pattern: it leaves the unified set's hardware side
+// immediately (so budgets and decisions see the slot as free) but the ACL
+// itself is removed only after the placer redirects have landed, keeping
+// in-flight express-lane packets deliverable.
+func (tc *TORController) removeHW(p rules.Pattern) {
+	delete(tc.offloaded, p)
+	delete(tc.prevHW, p)
+	if _, ok := tc.pendingRemove[p]; ok {
+		return
+	}
+	grace := 4 * tc.mgr.Cfg.ControlDelay
+	tc.pendingRemove[p] = tc.mgr.Cluster.Eng.After(grace, func() {
+		delete(tc.pendingRemove, p)
+		tc.tor.RemoveACL(p)
+	})
+}
+
+// policyFor evaluates the tenant policy covering the pattern against
+// every rule-bearing VM the pattern's flows could touch: the pinned
+// endpoints, plus — when an endpoint is wildcarded — every tenant VM with
+// security rules, since any of them could be the far end. The offloaded
+// rule is Allow only if all of them allow the representative flow; this
+// keeps the hardware rule compliant with configured policy (§4.3: "The
+// offloaded flow rules must comply with configured policy") and closes
+// the bypass a blanket hardware Allow would open for VF traffic, which
+// never revisits the destination vswitch's ACLs.
+func (tc *TORController) policyFor(p rules.Pattern) (rules.Action, int) {
+	k := representativeKey(p)
+	queue := 0
+	srcPinned, dstPinned := p.SrcPrefix == 32, p.DstPrefix == 32
+
+	check := func(vm *host.VM) rules.Action {
+		if vm == nil || len(vm.Rules.Security) == 0 {
+			return rules.Allow
+		}
+		if q := vm.Rules.QueueFor(k); q > queue {
+			queue = q
+		}
+		return vm.Rules.Evaluate(k)
+	}
+
+	if srcPinned {
+		if vm, ok := tc.mgr.Cluster.FindVM(p.Tenant, p.Src); ok {
+			if check(vm) != rules.Allow {
+				return rules.Deny, 0
+			}
+		}
+	}
+	if dstPinned {
+		if vm, ok := tc.mgr.Cluster.FindVM(p.Tenant, p.Dst); ok {
+			if check(vm) != rules.Allow {
+				return rules.Deny, 0
+			}
+		}
+	}
+	if !srcPinned || !dstPinned {
+		// A wildcarded endpoint: any tenant VM with rules could be
+		// covered; all of them must allow the representative flow.
+		for _, srv := range tc.mgr.Cluster.Servers {
+			for _, vm := range srv.VMs {
+				if vm.Key.Tenant != p.Tenant || len(vm.Rules.Security) == 0 {
+					continue
+				}
+				if check(vm) != rules.Allow {
+					return rules.Deny, 0
+				}
+			}
+		}
+	}
+	return rules.Allow, queue
+}
+
+func representativeKey(p rules.Pattern) packet.FlowKey {
+	return packet.FlowKey{
+		Src: p.Src, Dst: p.Dst,
+		SrcPort: p.SrcPort, DstPort: p.DstPort,
+		Proto: p.Proto, Tenant: p.Tenant,
+	}
+}
+
+// hwRates builds the per-VM hardware-path observations for local FPS.
+func (tc *TORController) hwRates() []openflow.VMRate {
+	keys := make([]vswitch.VMKey, 0, len(tc.installedHW))
+	for k := range tc.installedHW {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Tenant != keys[j].Tenant {
+			return keys[i].Tenant < keys[j].Tenant
+		}
+		return keys[i].IP < keys[j].IP
+	})
+	out := make([]openflow.VMRate, 0, len(keys))
+	for _, k := range keys {
+		inst := tc.installedHW[k]
+		eg := tc.tor.VFRate(k.Tenant, k.IP, tor.Egress)
+		in := tc.tor.VFRate(k.Tenant, k.IP, tor.Ingress)
+		out = append(out, openflow.VMRate{
+			Tenant: k.Tenant, VMIP: k.IP,
+			EgressBps: eg, IngressBps: in,
+			EgressMaxed:  inst.EgressHardBps > 0 && eg >= inst.EgressHardBps*0.95,
+			IngressMaxed: inst.IngressHardBps > 0 && in >= inst.IngressHardBps*0.95,
+		})
+	}
+	return out
+}
+
+// demoteVM pulls back every offloaded rule touching a VM — the pre-
+// migration step of §4.1.2 ("any offloaded flows must be returned back to
+// the VM's hypervisor before the migration can occur").
+func (tc *TORController) demoteVM(tenant packet.TenantID, vmIP packet.IP) {
+	var actions []openflow.OffloadAction
+	for p := range tc.offloaded {
+		if p.Tenant != tenant {
+			continue
+		}
+		touches := (p.SrcPrefix == 32 && p.Src == vmIP) || (p.DstPrefix == 32 && p.Dst == vmIP)
+		if !touches {
+			continue
+		}
+		tc.removeHW(p)
+		actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: false})
+	}
+	if len(actions) == 0 {
+		return
+	}
+	sort.Slice(actions, func(i, j int) bool {
+		return actions[i].Pattern.String() < actions[j].Pattern.String()
+	})
+	dec := &openflow.OffloadDecision{Actions: actions}
+	for _, tr := range tc.toLocals {
+		tr.Send(dec)
+	}
+}
+
+// LatestReports returns the most recent demand report from each server —
+// exposed for experiment instrumentation.
+func (tc *TORController) LatestReports() []openflow.DemandReport {
+	ids := make([]uint32, 0, len(tc.reports))
+	for id := range tc.reports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]openflow.DemandReport, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, tc.reports[id])
+	}
+	return out
+}
+
+// offloadedList returns current hardware patterns, sorted.
+func (tc *TORController) offloadedList() []rules.Pattern {
+	out := make([]rules.Pattern, 0, len(tc.offloaded))
+	for p := range tc.offloaded {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

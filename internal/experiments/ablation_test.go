@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationScoreFunction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	pps, bps := AblationScoreFunction()
+	// FasTrak's pps-ranked choice (offload the mice) must beat the
+	// elephant-first choice on the latency-sensitive service (§4.3.2
+	// footnote 3).
+	if pps.MiceLatency >= bps.MiceLatency {
+		t.Errorf("pps policy mice latency %v not below elephant policy %v",
+			pps.MiceLatency, bps.MiceLatency)
+	}
+	if pps.MiceTPS <= bps.MiceTPS {
+		t.Errorf("pps policy mice TPS %.0f not above elephant policy %.0f",
+			pps.MiceTPS, bps.MiceTPS)
+	}
+}
+
+func TestAblationTCAMCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	rows := AblationTCAMCapacity([]int{2, 8, 32})
+	// More hardware rule space → more offloaded patterns → lower mean
+	// latency, monotonically.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Offloaded < rows[i-1].Offloaded {
+			t.Errorf("offload count regressed: cap %d → %d", rows[i-1].Capacity, rows[i].Capacity)
+		}
+		if rows[i].MeanLatency >= rows[i-1].MeanLatency {
+			t.Errorf("latency did not improve from cap %d (%v) to %d (%v)",
+				rows[i-1].Capacity, rows[i-1].MeanLatency, rows[i].Capacity, rows[i].MeanLatency)
+		}
+	}
+	if rows[0].Offloaded > rows[0].Capacity {
+		t.Errorf("offloaded %d exceeds capacity %d", rows[0].Offloaded, rows[0].Capacity)
+	}
+}
+
+func TestAblationControlInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	rows := AblationControlInterval([]time.Duration{10 * time.Millisecond, 100 * time.Millisecond})
+	for _, r := range rows {
+		if r.ReactionTime == 0 {
+			t.Fatalf("epoch %v: never offloaded", r.Epoch)
+		}
+	}
+	// Reaction time scales with the epoch (§4.3.2: the control interval
+	// decides how soon FasTrak reacts).
+	if rows[1].ReactionTime <= rows[0].ReactionTime {
+		t.Errorf("reaction at epoch %v (%v) not slower than %v (%v)",
+			rows[1].Epoch, rows[1].ReactionTime, rows[0].Epoch, rows[0].ReactionTime)
+	}
+}
+
+func TestAblationFPSOverflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	rows := AblationFPSOverflow([]float64{0, 0.05, 0.15})
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ThrottledFraction >= rows[i-1].ThrottledFraction {
+			t.Errorf("throttling did not fall with overflow: O=%.2f→%.3f, O=%.2f→%.3f",
+				rows[i-1].OverflowFraction, rows[i-1].ThrottledFraction,
+				rows[i].OverflowFraction, rows[i].ThrottledFraction)
+		}
+		if rows[i].ConvergedHardBps < 0.85e9 {
+			t.Errorf("O=%.2f did not converge: %.2e", rows[i].OverflowFraction, rows[i].ConvergedHardBps)
+		}
+	}
+}
+
+func TestAblationAggregation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	agg, exact := AblationAggregation()
+	// The per-VM/app rule of thumb compresses both control-plane and
+	// hardware rule state by an order of magnitude (§4.3.1).
+	if agg.HardwareRules*5 > exact.HardwareRules {
+		t.Errorf("aggregation saved too little hardware state: %d vs %d",
+			agg.HardwareRules, exact.HardwareRules)
+	}
+	if agg.PlacerRules*5 > exact.PlacerRules {
+		t.Errorf("aggregation saved too little placer state: %d vs %d",
+			agg.PlacerRules, exact.PlacerRules)
+	}
+}

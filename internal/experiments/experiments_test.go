@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// The experiment tests assert the paper's qualitative results — who wins,
+// by roughly what factor, where crossovers fall — on reduced measurement
+// windows. EXPERIMENTS.md records full-size runs.
+
+func TestMain(m *testing.M) {
+	// Shrink windows for CI-speed runs; benches use the defaults.
+	MicroDuration = 150 * time.Millisecond
+	Table1Duration = 150 * time.Millisecond
+	EvalScale = 500
+	m.Run()
+}
+
+func TestFig3SRIOVWinsEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	for _, size := range []int{64, 1448} {
+		ovs := RunMicroNetwork(ConfigOVS, size)
+		vf := RunMicroNetwork(ConfigSRIOV, size)
+		if vf.AvgLatency >= ovs.AvgLatency {
+			t.Errorf("size %d: SR-IOV latency %v not below OVS %v", size, vf.AvgLatency, ovs.AvgLatency)
+		}
+		if vf.P99Latency >= ovs.P99Latency {
+			t.Errorf("size %d: SR-IOV p99 %v not below OVS %v", size, vf.P99Latency, ovs.P99Latency)
+		}
+		if vf.BurstTPS <= ovs.BurstTPS {
+			t.Errorf("size %d: SR-IOV TPS %.0f not above OVS %.0f", size, vf.BurstTPS, ovs.BurstTPS)
+		}
+		if vf.ThroughputGbps < ovs.ThroughputGbps*0.99 {
+			t.Errorf("size %d: SR-IOV throughput %.2f below OVS %.2f", size, vf.ThroughputGbps, ovs.ThroughputGbps)
+		}
+	}
+}
+
+func TestFig3dBurstTPSFactor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	// §3.2.4 / Fig. 3(d): SR-IOV delivers "up to twice the transactions
+	// per second as compared to baseline OVS" (60K vs 34K ≈ 1.76×).
+	ovs := RunMicroNetwork(ConfigOVS, 64)
+	vf := RunMicroNetwork(ConfigSRIOV, 64)
+	ratio := vf.BurstTPS / ovs.BurstTPS
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("SR-IOV/OVS burst TPS ratio %.2f outside ~2x band", ratio)
+	}
+	// Rate limiting cuts TPS to 85-88%% of baseline (§3.2.2).
+	rl := RunMicroNetwork(ConfigOVSRL, 64)
+	rlRatio := rl.BurstTPS / ovs.BurstTPS
+	if rlRatio < 0.75 || rlRatio > 0.96 {
+		t.Errorf("RL/OVS burst TPS ratio %.2f outside 0.85ish band", rlRatio)
+	}
+}
+
+func TestFig3TunnelingCapsThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	// §3.2.1: the software VXLAN implementation cannot support rates
+	// beyond ~2 Gbps for the target application data sizes.
+	tun := RunMicroNetwork(ConfigOVSTunnel, 1448)
+	if tun.ThroughputGbps > 2.5 {
+		t.Errorf("tunneling throughput %.2f Gbps above the ~2 Gbps cap", tun.ThroughputGbps)
+	}
+	if tun.ThroughputGbps < 0.4 {
+		t.Errorf("tunneling throughput %.2f Gbps implausibly low", tun.ThroughputGbps)
+	}
+	base := RunMicroNetwork(ConfigOVS, 1448)
+	if tun.AvgLatency <= base.AvgLatency {
+		t.Error("software tunneling did not add latency")
+	}
+}
+
+func TestFig3LatencyImprovementGradient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	// §3.2.4: "As the application data size decreases, latency
+	// improvement increases with hardware offload" (49% at 64 B vs 30%
+	// at 32000 B for burst latency).
+	imp := func(size int) float64 {
+		ovs := RunMicroNetwork(ConfigOVS, size)
+		vf := RunMicroNetwork(ConfigSRIOV, size)
+		return 1 - float64(vf.BurstLatency)/float64(ovs.BurstLatency)
+	}
+	small, large := imp(64), imp(32000)
+	if small <= large {
+		t.Errorf("burst latency improvement at 64B (%.0f%%) not above 32000B (%.0f%%)",
+			small*100, large*100)
+	}
+	if small < 0.3 || small > 0.7 {
+		t.Errorf("improvement at 64B = %.0f%%, want ~49%%", small*100)
+	}
+}
+
+func TestFig4CPUOverheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	// Fig. 4(a): per unit of throughput, SR-IOV needs well under the
+	// baseline's CPU (0.4-0.7× lower).
+	for _, size := range []int{64, 1448} {
+		ovs := RunMicroCPU(ConfigOVS, size)
+		vf := RunMicroCPU(ConfigSRIOV, size)
+		perGbpsOVS := ovs.CPUs / ovs.ThroughputGbps
+		perGbpsVF := vf.CPUs / vf.ThroughputGbps
+		ratio := perGbpsVF / perGbpsOVS
+		if ratio < 0.25 || ratio > 0.75 {
+			t.Errorf("size %d: VF/OVS CPU-per-Gbps ratio %.2f outside band", size, ratio)
+		}
+	}
+	// §3.2.1: tunneling burns ~2.9 CPUs to push <2 Gbps at 1448 B.
+	tun := RunMicroCPU(ConfigOVSTunnel, 1448)
+	if tun.ThroughputGbps > 2.5 {
+		t.Errorf("tunneling CPU test pushed %.2f Gbps, above cap", tun.ThroughputGbps)
+	}
+	if tun.CPUs < 2.0 || tun.CPUs > 4.5 {
+		t.Errorf("tunneling used %.2f CPUs, want ~2.9", tun.CPUs)
+	}
+}
+
+func TestFig5CombinedFunctions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	// Fig. 5(e): composed software functions run 1.8-2.1× the pipelined
+	// latency of SR-IOV with the same 1 Gbps limit in hardware. The
+	// paper's regime — software CPU-bound below the rate cap — holds at
+	// 64 B here; at larger sizes both paths are rate-bound at 1 Gbps
+	// and the gap compresses (see EXPERIMENTS.md).
+	sw := RunMicroNetwork(ConfigCombined, 64)
+	hw := RunMicroNetwork(ConfigSRIOVRL, 64)
+	ratio := float64(sw.BurstLatency) / float64(hw.BurstLatency)
+	if ratio < 1.8 {
+		t.Errorf("combined/SR-IOV burst latency ratio %.2f, want ≥1.8", ratio)
+	}
+	if sw.AvgLatency <= hw.AvgLatency {
+		t.Error("combined closed-loop latency not above SR-IOV's")
+	}
+	// The 1 Gbps hardware limit holds at every size.
+	for _, size := range []int{600, 1448, 32000} {
+		r := RunMicroNetwork(ConfigSRIOVRL, size)
+		if r.ThroughputGbps > 1.1 {
+			t.Errorf("size %d: hardware rate limit leaked: %.2f Gbps", size, r.ThroughputGbps)
+		}
+		if r.ThroughputGbps < 0.5 {
+			t.Errorf("size %d: SR-IOV+RL throughput %.2f far below its 1 Gbps limit", size, r.ThroughputGbps)
+		}
+	}
+}
+
+func TestTable1MemcachedTPS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	rows := Table1(false)
+	vif, vf := rows[0], rows[1]
+	// "The same two memcached servers are able to serve twice the
+	// number of requests when using the SR-IOV VF with half the
+	// latency" (Table 1a: 215K vs 106K TPS, 192 vs 373 µs).
+	tpsRatio := vf.TPS / vif.TPS
+	if tpsRatio < 1.6 || tpsRatio > 3.2 {
+		t.Errorf("VF/VIF TPS ratio %.2f, want ~2", tpsRatio)
+	}
+	latRatio := float64(vif.MeanLatency) / float64(vf.MeanLatency)
+	if latRatio < 1.6 || latRatio > 3.2 {
+		t.Errorf("VIF/VF latency ratio %.2f, want ~2", latRatio)
+	}
+	// Table 1b: background load does not change the ordering.
+	bg := Table1(true)
+	if bg[1].TPS <= bg[0].TPS {
+		t.Error("background run lost the SR-IOV advantage")
+	}
+}
+
+func TestTable2FinishTimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	rows := Table2()
+	// Partial offload is dominated by the slowest member: the first
+	// four rows are close; only the all-VF row drops sharply (§6.1.2).
+	full, none := rows[0], rows[4]
+	drop := 1 - float64(none.MeanFinish)/float64(full.MeanFinish)
+	if drop < 0.3 {
+		t.Errorf("all-VF finish-time reduction %.0f%%, want ≥~37%%", drop*100)
+	}
+	for i := 1; i <= 3; i++ {
+		partial := rows[i]
+		if float64(partial.MeanFinish) < 0.75*float64(full.MeanFinish) {
+			t.Errorf("partial config %d%% finished %v, not dominated by slowest member (full %v)",
+				partial.PercentVIF, partial.MeanFinish, full.MeanFinish)
+		}
+	}
+	// Latency declines monotonically as servers shift (Table 2's
+	// latency column).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanLatency >= rows[i-1].MeanLatency {
+			t.Errorf("latency did not decline: row %d %v ≥ row %d %v",
+				i, rows[i].MeanLatency, i-1, rows[i-1].MeanLatency)
+		}
+	}
+}
+
+func TestTable3BackgroundFinishTimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	rows := Table3()
+	// "finish times almost double when the memcached traffic uses the
+	// VIF, and latency reduces by half" (Table 3).
+	ratio := float64(rows[0].MeanFinish) / float64(rows[1].MeanFinish)
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("VIF/VF finish ratio with background %.2f, want ~2", ratio)
+	}
+}
+
+func TestTable4FasTrakDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	rows := Table4()
+	static, dynamic := rows[0], rows[1]
+	// "With FasTrak, Memcached finishes about twice as fast with about
+	// half the average latency" (Table 4).
+	finishRatio := float64(static.MeanFinish) / float64(dynamic.MeanFinish)
+	if finishRatio < 1.5 || finishRatio > 3 {
+		t.Errorf("finish-time improvement %.2fx, want ~2x", finishRatio)
+	}
+	latRatio := float64(static.MeanLatency) / float64(dynamic.MeanLatency)
+	if latRatio < 1.5 || latRatio > 3 {
+		t.Errorf("latency improvement %.2fx, want ~2x", latRatio)
+	}
+	if dynamic.OffloadedAt == 0 {
+		t.Error("controller never offloaded")
+	}
+	if dynamic.OffloadedAt > dynamic.MeanFinish {
+		t.Errorf("offload at %v landed after the run finished (%v)", dynamic.OffloadedAt, dynamic.MeanFinish)
+	}
+}
+
+func TestFig12MigrationTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	res := Fig12(20 * time.Millisecond)
+	// §6.2.2: "TCP recovered ... there were 30 fast retransmits ...
+	// the connection progresses normally despite flow migration with
+	// no timeouts."
+	if res.Stats.Timeouts != 0 {
+		t.Errorf("migration caused %d timeouts, paper observes none", res.Stats.Timeouts)
+	}
+	if res.Stats.FastRetransmits == 0 {
+		t.Error("no fast retransmits; loss episode not exercised")
+	}
+	if res.Stats.FastRetransmits > 200 {
+		t.Errorf("%d fast retransmits, want ~30", res.Stats.FastRetransmits)
+	}
+	if res.Finished == 0 {
+		t.Error("transfer did not complete")
+	}
+	if len(res.Trace) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestControllerCostModest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	cc := ControllerCost(3 * time.Second)
+	if cc.ControlIntervals == 0 || cc.Messages == 0 {
+		t.Fatal("controller idle")
+	}
+	// §6.2.2: controllers use negligible resources — a handful of
+	// messages per server per interval, bytes in the tens of KB.
+	perIntervalPerServer := float64(cc.Messages) / float64(cc.ControlIntervals) / float64(evalServers)
+	if perIntervalPerServer > 6 {
+		t.Errorf("%.1f control messages per server-interval, want a handful", perIntervalPerServer)
+	}
+}
+
+var _ = model.Default // keep import if assertions above change
+
+func TestShuffleImprovesOnExpressLane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	rows := ShuffleExperiment()
+	if rows[0].FinishedAt == 0 || rows[1].FinishedAt == 0 {
+		t.Fatalf("shuffle incomplete: %+v", rows)
+	}
+	// §6: FasTrak "improved their overall throughput and reduced their
+	// finishing times" for MapReduce too.
+	if rows[1].FinishedAt >= rows[0].FinishedAt {
+		t.Errorf("express lane did not improve shuffle: VIF %v vs VF %v",
+			rows[0].FinishedAt, rows[1].FinishedAt)
+	}
+}
+
+func TestTenKSecurityRulesNoSteadyStateOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	// §3.2: "an OVS instance populated with 10,000 security rules showed
+	// no measurable difference in overhead compared with baseline OVS"
+	// — the O(1) fast path hides the table size after first packets.
+	base := RunMicroNetwork(ConfigOVS, 600)
+	sec := RunMicroNetwork(ConfigOVSSec, 600)
+	if sec.ThroughputGbps < base.ThroughputGbps*0.95 {
+		t.Errorf("10k rules cut throughput: %.2f vs %.2f Gbps", sec.ThroughputGbps, base.ThroughputGbps)
+	}
+	ratio := float64(sec.AvgLatency) / float64(base.AvgLatency)
+	if ratio > 1.05 {
+		t.Errorf("10k rules raised steady-state latency %.2fx", ratio)
+	}
+	if sec.BurstTPS < base.BurstTPS*0.95 {
+		t.Errorf("10k rules cut burst TPS: %.0f vs %.0f", sec.BurstTPS, base.BurstTPS)
+	}
+}

@@ -1,0 +1,201 @@
+// Package fabric provides the physical-network substrate of the testbed:
+// the Port abstraction data-plane elements connect through, store-and-
+// forward links with serialization delay, propagation delay and bounded
+// queues, and a static router for the core ("the network fabric core
+// remains unchanged", §1 — packets beyond the ToR are routed normally on
+// outer provider addresses).
+package fabric
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Port is anywhere a packet can be delivered. Components implement Port
+// for their ingress and hold the Port of their next hop.
+type Port interface {
+	Input(p *packet.Packet)
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(p *packet.Packet)
+
+// Input implements Port.
+func (f PortFunc) Input(p *packet.Packet) { f(p) }
+
+// Discard is a Port that drops everything (an unconnected wire).
+var Discard Port = PortFunc(func(*packet.Packet) {})
+
+// Queue abstracts the egress queue discipline of a link: the default is a
+// single drop-tail FIFO; the ToR plugs in its QoS scheduler
+// (internal/qos.Scheduler satisfies this).
+type Queue interface {
+	// Enqueue accepts a packet into class q, reporting false on drop.
+	Enqueue(q int, p *packet.Packet) bool
+	// Dequeue returns the next packet to send, or nil if empty.
+	Dequeue() *packet.Packet
+	// Len returns the number of queued packets.
+	Len() int
+}
+
+// FIFO is a bounded drop-tail queue (the default Link queue).
+type FIFO struct {
+	limit int
+	q     []*packet.Packet
+	drops uint64
+}
+
+// NewFIFO returns a FIFO holding at most limit packets; the default
+// matches deep-buffered data-center switch ports.
+func NewFIFO(limit int) *FIFO {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &FIFO{limit: limit}
+}
+
+// Enqueue implements Queue.
+func (f *FIFO) Enqueue(_ int, p *packet.Packet) bool {
+	if len(f.q) >= f.limit {
+		f.drops++
+		return false
+	}
+	f.q = append(f.q, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (f *FIFO) Dequeue() *packet.Packet {
+	if len(f.q) == 0 {
+		return nil
+	}
+	p := f.q[0]
+	f.q = f.q[1:]
+	return p
+}
+
+// Len implements Queue.
+func (f *FIFO) Len() int { return len(f.q) }
+
+// Drops returns the number of tail drops.
+func (f *FIFO) Drops() uint64 { return f.drops }
+
+// Link is a unidirectional store-and-forward wire: packets are queued,
+// serialized at the line rate, then delivered after propagation delay.
+// Bidirectional connections are two Links.
+type Link struct {
+	eng   *sim.Engine
+	bps   float64
+	prop  time.Duration
+	queue Queue
+	dst   Port
+
+	busy     bool
+	txBytes  uint64
+	txPkts   uint64
+	dropPkts uint64
+}
+
+// NewLink builds a link to dst. queue may be nil for a default FIFO.
+func NewLink(eng *sim.Engine, bps float64, prop time.Duration, queue Queue, dst Port) *Link {
+	if bps <= 0 {
+		panic("fabric: link rate must be positive")
+	}
+	if queue == nil {
+		queue = NewFIFO(0)
+	}
+	return &Link{eng: eng, bps: bps, prop: prop, queue: queue, dst: dst}
+}
+
+// SetDst rewires the link's far end (used while assembling topologies).
+func (l *Link) SetDst(dst Port) { l.dst = dst }
+
+// Send queues p on class q for transmission. Dropped packets are counted
+// and vanish, as on a real wire.
+func (l *Link) Send(q int, p *packet.Packet) {
+	if !l.queue.Enqueue(q, p) {
+		l.dropPkts++
+		return
+	}
+	if !l.busy {
+		l.pump()
+	}
+}
+
+func (l *Link) pump() {
+	p := l.queue.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	ser := time.Duration(float64(p.WireLen()) * 8 / l.bps * float64(time.Second))
+	l.txBytes += uint64(p.WireLen())
+	l.txPkts++
+	l.eng.After(ser, func() {
+		// Wire is free for the next packet while p propagates.
+		l.eng.After(l.prop, func() { l.dst.Input(p) })
+		l.pump()
+	})
+}
+
+// Stats returns transmitted packets/bytes and drops.
+func (l *Link) Stats() (pkts, bytes, drops uint64) {
+	return l.txPkts, l.txBytes, l.dropPkts
+}
+
+// QueueLen returns the current egress queue occupancy.
+func (l *Link) QueueLen() int { return l.queue.Len() }
+
+// Router is a static longest-prefix-free router keyed on exact outer
+// destination IP — sufficient for the testbed's provider addressing,
+// where every server and ToR loopback has a known address.
+type Router struct {
+	routes map[packet.IP]Port
+	// DefaultPort receives packets with no route (nil = drop).
+	DefaultPort Port
+	drops       uint64
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router { return &Router{routes: make(map[packet.IP]Port)} }
+
+// AddRoute directs traffic for dst to out.
+func (r *Router) AddRoute(dst packet.IP, out Port) { r.routes[dst] = out }
+
+// Forward sends p toward its outer destination, dropping (and counting) if
+// unroutable.
+func (r *Router) Forward(p *packet.Packet) {
+	if out, ok := r.routes[p.IP.Dst]; ok {
+		out.Input(p)
+		return
+	}
+	if r.DefaultPort != nil {
+		r.DefaultPort.Input(p)
+		return
+	}
+	r.drops++
+}
+
+// PortFor returns the port for dst (falling back to DefaultPort), or nil.
+func (r *Router) PortFor(dst packet.IP) Port {
+	if out, ok := r.routes[dst]; ok {
+		return out
+	}
+	return r.DefaultPort
+}
+
+// Drops returns the number of unroutable packets.
+func (r *Router) Drops() uint64 { return r.drops }
+
+// LinkPort adapts a Link to the Port interface, defaulting to QoS class 0
+// and exposing class-aware input for senders that select queues.
+type LinkPort struct{ L *Link }
+
+// Input implements Port.
+func (lp LinkPort) Input(p *packet.Packet) { lp.L.Send(0, p) }
+
+// InputQ sends on a specific QoS class.
+func (lp LinkPort) InputQ(q int, p *packet.Packet) { lp.L.Send(q, p) }

@@ -1,0 +1,155 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/qos"
+	"repro/internal/sim"
+)
+
+func pkt(size int) *packet.Packet {
+	return packet.NewTCP(1, 1, 2, 10, 20, size)
+}
+
+func TestLinkSerializationAndPropagation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var arrived []time.Duration
+	dst := PortFunc(func(p *packet.Packet) { arrived = append(arrived, eng.Now()) })
+	// 1 Gbps, 1µs propagation. A packet with WireLen w takes w*8ns + 1µs.
+	l := NewLink(eng, 1e9, time.Microsecond, nil, dst)
+	p := pkt(946) // WireLen = 946 + 54 = 1000 → 8µs serialization
+	l.Send(0, p)
+	eng.Run()
+	if len(arrived) != 1 {
+		t.Fatal("packet not delivered")
+	}
+	want := 8*time.Microsecond + time.Microsecond
+	if arrived[0] != want {
+		t.Errorf("arrival at %v, want %v", arrived[0], want)
+	}
+}
+
+func TestLinkSerializesBackToBack(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var arrived []time.Duration
+	dst := PortFunc(func(p *packet.Packet) { arrived = append(arrived, eng.Now()) })
+	l := NewLink(eng, 1e9, 0, nil, dst)
+	for i := 0; i < 3; i++ {
+		l.Send(0, pkt(946)) // 8µs each
+	}
+	eng.Run()
+	if len(arrived) != 3 {
+		t.Fatalf("delivered %d", len(arrived))
+	}
+	for i, want := range []time.Duration{8 * time.Microsecond, 16 * time.Microsecond, 24 * time.Microsecond} {
+		if arrived[i] != want {
+			t.Errorf("packet %d at %v, want %v", i, arrived[i], want)
+		}
+	}
+}
+
+func TestLinkThroughputAtLineRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	delivered := 0
+	dst := PortFunc(func(p *packet.Packet) { delivered++ })
+	l := NewLink(eng, 10e9, 0, NewFIFO(100000), dst)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		l.Send(0, pkt(1446)) // WireLen 1500 → 1.2µs at 10G
+	}
+	eng.Run()
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+	elapsed := eng.Now()
+	gbps := float64(n*1500*8) / elapsed.Seconds() / 1e9
+	if gbps < 9.9 || gbps > 10.1 {
+		t.Errorf("throughput %.2f Gbps, want 10", gbps)
+	}
+}
+
+func TestLinkDropsWhenQueueFull(t *testing.T) {
+	eng := sim.NewEngine(1)
+	delivered := 0
+	l := NewLink(eng, 1e6, 0, NewFIFO(5), PortFunc(func(*packet.Packet) { delivered++ }))
+	for i := 0; i < 100; i++ {
+		l.Send(0, pkt(1000))
+	}
+	eng.Run()
+	_, _, drops := l.Stats()
+	if drops == 0 {
+		t.Error("no drops despite overflow")
+	}
+	if delivered+int(drops) != 100 {
+		t.Errorf("delivered %d + drops %d != 100", delivered, drops)
+	}
+}
+
+func TestLinkWithQoSScheduler(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var order []uint64
+	dst := PortFunc(func(p *packet.Packet) { order = append(order, p.Meta.Seq) })
+	sched := qos.NewScheduler(qos.DefaultConfig()) // queue 7 strict
+	l := NewLink(eng, 1e9, 0, sched, dst)
+	low := pkt(1000)
+	low.Meta.Seq = 1
+	hi := pkt(1000)
+	hi.Meta.Seq = 2
+	low2 := pkt(1000)
+	low2.Meta.Seq = 3
+	l.Send(0, low) // starts transmitting immediately
+	l.Send(0, low2)
+	l.Send(7, hi)
+	eng.Run()
+	// low is already on the wire; hi must preempt low2 in the queue.
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRouter(t *testing.T) {
+	var gotA, gotB int
+	r := NewRouter()
+	r.AddRoute(packet.MustParseIP("192.168.1.10"), PortFunc(func(*packet.Packet) { gotA++ }))
+	r.AddRoute(packet.MustParseIP("192.168.1.11"), PortFunc(func(*packet.Packet) { gotB++ }))
+	p := pkt(100)
+	p.IP.Dst = packet.MustParseIP("192.168.1.10")
+	r.Forward(p)
+	p2 := pkt(100)
+	p2.IP.Dst = packet.MustParseIP("192.168.1.11")
+	r.Forward(p2)
+	p3 := pkt(100)
+	p3.IP.Dst = packet.MustParseIP("10.99.99.99")
+	r.Forward(p3)
+	if gotA != 1 || gotB != 1 {
+		t.Errorf("routing wrong: A=%d B=%d", gotA, gotB)
+	}
+	if r.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", r.Drops())
+	}
+	// Default route catches the unroutable.
+	var def int
+	r.DefaultPort = PortFunc(func(*packet.Packet) { def++ })
+	r.Forward(p3)
+	if def != 1 {
+		t.Error("default port not used")
+	}
+}
+
+func TestFIFODrops(t *testing.T) {
+	f := NewFIFO(2)
+	if !f.Enqueue(0, pkt(1)) || !f.Enqueue(0, pkt(1)) {
+		t.Fatal("enqueue failed below limit")
+	}
+	if f.Enqueue(0, pkt(1)) {
+		t.Error("enqueue succeeded beyond limit")
+	}
+	if f.Drops() != 1 || f.Len() != 2 {
+		t.Errorf("drops=%d len=%d", f.Drops(), f.Len())
+	}
+}

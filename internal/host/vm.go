@@ -1,0 +1,164 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/flowplacer"
+	"repro/internal/metrics"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/vswitch"
+)
+
+// App receives application messages delivered to a VM port. Workload
+// generators (internal/workload) implement it.
+type App interface {
+	OnMessage(vm *VM, p *packet.Packet)
+}
+
+// AppFunc adapts a function to App.
+type AppFunc func(vm *VM, p *packet.Packet)
+
+// OnMessage implements App.
+func (f AppFunc) OnMessage(vm *VM, p *packet.Packet) { f(vm, p) }
+
+// VM is one guest: vCPUs, tenant addressing, the bonded VIF+VF interface
+// with its flow placer, and bound applications.
+type VM struct {
+	Key  vswitch.VMKey
+	VLAN packet.VLANID
+	// CPU is the guest's vCPU station; all socket operations charge it.
+	CPU *CPUStation
+	// Placer is the flow placement module in the bonding driver; the
+	// FasTrak local controller programs it over OpenFlow (§4.1.1).
+	Placer *flowplacer.Placer
+	// Rules is the VM's tenant rule set (migrates with the VM).
+	Rules *rules.VMRules
+
+	server *Server
+	apps   map[uint16]App
+
+	// Latency observes message delivery delay (arrival − SentAt) per
+	// arrival path for experiment reporting.
+	LatencyVIF *metrics.Histogram
+	LatencyVF  *metrics.Histogram
+
+	txMessages, rxMessages uint64
+	txBytes, rxBytes       uint64
+	nextSeq                uint64
+}
+
+// BindApp registers an App on a destination L4 port.
+func (vm *VM) BindApp(port uint16, a App) { vm.apps[port] = a }
+
+// Server returns the physical server hosting the VM.
+func (vm *VM) Server() *Server { return vm.server }
+
+// SendOptions carries optional metadata for Send.
+type SendOptions struct {
+	// Seq tags the message for request/response correlation; 0 assigns
+	// a fresh sequence number.
+	Seq uint64
+	// Proto defaults to TCP.
+	Proto byte
+}
+
+// Send transmits one application message of size payload bytes to a
+// destination VM in the same tenant. The guest stack cost is charged to
+// the VM's vCPUs, then the flow placer picks the VIF or VF path
+// (§4.2.1). done, if non-nil, runs when the local send completes (the
+// thread is free to issue its next operation).
+func (vm *VM) Send(dst packet.IP, srcPort, dstPort uint16, size int, opts SendOptions, done func()) {
+	proto := opts.Proto
+	if proto == 0 {
+		proto = packet.ProtoTCP
+	}
+	seq := opts.Seq
+	if seq == 0 {
+		vm.nextSeq++
+		seq = vm.nextSeq
+	}
+	eng := vm.server.eng
+	cm := vm.server.cm
+	vm.CPU.Submit(cm.GuestOpCost(size), func() {
+		p := packet.FromKey(packet.FlowKey{
+			Src: vm.Key.IP, Dst: dst,
+			SrcPort: srcPort, DstPort: dstPort,
+			Proto: proto, Tenant: vm.Key.Tenant,
+		}, size)
+		p.Meta.SentAt = eng.Now()
+		p.Meta.Seq = seq
+		vm.txMessages++
+		vm.txBytes += uint64(size)
+		switch vm.Placer.Place(p, eng.Now()) {
+		case openflow.PathVF:
+			vm.server.NIC.SendFromVF(vm.VLAN, p)
+		default:
+			vm.server.VSwitch.OutputFromVM(vm.Key, p)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// SendPacket transmits a fully formed packet (the caller controls TCP
+// header fields — used by internal/tcpmodel), charging the guest stack
+// and routing through the flow placer like Send.
+func (vm *VM) SendPacket(p *packet.Packet, done func()) {
+	eng := vm.server.eng
+	cm := vm.server.cm
+	vm.CPU.Submit(cm.GuestOpCost(p.PayloadLen()), func() {
+		p.Meta.SentAt = eng.Now()
+		vm.txMessages++
+		vm.txBytes += uint64(p.PayloadLen())
+		switch vm.Placer.Place(p, eng.Now()) {
+		case openflow.PathVF:
+			vm.server.NIC.SendFromVF(vm.VLAN, p)
+		default:
+			vm.server.VSwitch.OutputFromVM(vm.Key, p)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// deliver is the VM-side receive path (both VIF and VF arrivals): charge
+// the guest receive cost, record latency, then hand to the bound app.
+func (vm *VM) deliver(p *packet.Packet) {
+	cm := vm.server.cm
+	eng := vm.server.eng
+	vm.CPU.Submit(cm.GuestOpCost(p.PayloadLen()), func() {
+		vm.rxMessages++
+		vm.rxBytes += uint64(p.PayloadLen())
+		if p.Meta.SentAt > 0 {
+			lat := eng.Now() - p.Meta.SentAt
+			if p.Meta.Path == "vf" {
+				vm.LatencyVF.Observe(lat)
+			} else {
+				vm.LatencyVIF.Observe(lat)
+			}
+		}
+		var dstPort uint16
+		switch {
+		case p.TCP != nil:
+			dstPort = p.TCP.DstPort
+		case p.UDP != nil:
+			dstPort = p.UDP.DstPort
+		}
+		if app, ok := vm.apps[dstPort]; ok {
+			app.OnMessage(vm, p)
+		}
+	})
+}
+
+// Counters reports message/byte totals.
+func (vm *VM) Counters() (txMsgs, rxMsgs, txBytes, rxBytes uint64) {
+	return vm.txMessages, vm.rxMessages, vm.txBytes, vm.rxBytes
+}
+
+func (vm *VM) String() string {
+	return fmt.Sprintf("vm t%d %s on %s", vm.Key.Tenant, vm.Key.IP, vm.server.IP)
+}

@@ -1,0 +1,153 @@
+// Package metrics provides the measurement primitives used throughout the
+// FasTrak testbed: latency histograms with average and tail percentiles,
+// windowed rate counters, and CPU-time accounting that converts accumulated
+// busy time into "logical CPUs used" — the unit the paper reports in
+// Figures 4(a)/4(b) and the evaluation tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram accumulates duration samples and reports average and
+// percentiles. It keeps raw samples (the experiment scales here are small
+// enough that exact percentiles are affordable and simpler to trust than a
+// sketch).
+type Histogram struct {
+	samples []time.Duration
+	sum     time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.sorted = false
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average sample, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) using the
+// nearest-rank method, or 0 if empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// P99 is shorthand for Percentile(99), the tail statistic the paper reports.
+func (h *Histogram) P99() time.Duration { return h.Percentile(99) }
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
+
+// Min returns the smallest sample, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.Percentile(0)
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.sorted = false
+}
+
+// String summarizes the histogram for logs and experiment tables.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p99=%v", h.Count(), h.Mean(), h.P99())
+}
+
+// Counter is a monotonically increasing count of packets or bytes, with a
+// helper to convert a delta over an interval into a per-second rate — the
+// Δ(p)/t and Δ(b)/t computations of the measurement engine (§4.3.1).
+type Counter struct {
+	total uint64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.total += n }
+
+// Total returns the accumulated count.
+func (c *Counter) Total() uint64 { return c.total }
+
+// Rate converts the delta between two counter readings over interval into
+// a per-second rate. A non-positive interval yields 0.
+func Rate(prev, cur uint64, interval time.Duration) float64 {
+	if interval <= 0 || cur < prev {
+		return 0
+	}
+	return float64(cur-prev) / interval.Seconds()
+}
+
+// CPUAccount accumulates busy time attributed to an activity (hypervisor
+// packet processing, guest stack, controller work). LogicalCPUs converts
+// busy time over a wall interval into the paper's "number of logical CPUs
+// used to drive the test" unit.
+type CPUAccount struct {
+	busy time.Duration
+}
+
+// Charge records d of CPU busy time.
+func (a *CPUAccount) Charge(d time.Duration) {
+	if d > 0 {
+		a.busy += d
+	}
+}
+
+// Busy returns total accumulated busy time.
+func (a *CPUAccount) Busy() time.Duration { return a.busy }
+
+// Reset zeroes the account.
+func (a *CPUAccount) Reset() { a.busy = 0 }
+
+// LogicalCPUs returns busy/elapsed: 2.0 means two logical CPUs were fully
+// occupied for the interval.
+func (a *CPUAccount) LogicalCPUs(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return a.busy.Seconds() / elapsed.Seconds()
+}
+
+// Gbps converts a byte count over an interval to gigabits per second.
+func Gbps(bytes uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e9 / elapsed.Seconds()
+}

@@ -1,0 +1,155 @@
+package nic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type capture struct{ pkts []*packet.Packet }
+
+func (c *capture) Input(p *packet.Packet) { c.pkts = append(c.pkts, p) }
+
+func newNIC(eng *sim.Engine, wireDst fabric.Port, vsw fabric.Port) (*NIC, *model.CostModel) {
+	cm := model.Default()
+	wire := fabric.NewLink(eng, cm.LinkBps, cm.PropDelay, nil, wireDst)
+	return New(eng, &cm, nil, wire, vsw), &cm
+}
+
+func vmPacket(size int) *packet.Packet {
+	return packet.NewTCP(7, packet.MustParseIP("10.0.0.1"), packet.MustParseIP("10.0.0.2"), 1000, 80, size)
+}
+
+func TestVFEgressTagsVLAN(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tor := &capture{}
+	n, _ := newNIC(eng, tor, fabric.Discard)
+	if err := n.AttachVF(100, packet.MustParseIP("10.0.0.1"), fabric.Discard); err != nil {
+		t.Fatal(err)
+	}
+	n.SendFromVF(100, vmPacket(500))
+	eng.Run()
+	if len(tor.pkts) != 1 {
+		t.Fatalf("wire got %d packets", len(tor.pkts))
+	}
+	out := tor.pkts[0]
+	if out.VLAN == nil || out.VLAN.ID != 100 {
+		t.Errorf("VLAN tag = %+v, want 100", out.VLAN)
+	}
+	if out.Meta.Path != "vf" {
+		t.Errorf("path = %q", out.Meta.Path)
+	}
+}
+
+func TestVFIngressSteersAndStrips(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, _ := newNIC(eng, fabric.Discard, fabric.Discard)
+	vm := &capture{}
+	if err := n.AttachVF(100, packet.MustParseIP("10.0.0.2"), vm); err != nil {
+		t.Fatal(err)
+	}
+	p := vmPacket(500) // dst 10.0.0.2
+	p.VLAN = &packet.VLAN{ID: 100}
+	n.Input(p)
+	eng.Run()
+	if len(vm.pkts) != 1 {
+		t.Fatalf("VM got %d packets", len(vm.pkts))
+	}
+	if vm.pkts[0].VLAN != nil {
+		t.Error("VLAN tag not stripped before VM delivery")
+	}
+}
+
+func TestVFIngressWrongVLANDropped(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, _ := newNIC(eng, fabric.Discard, fabric.Discard)
+	vm := &capture{}
+	n.AttachVF(100, packet.MustParseIP("10.0.0.2"), vm)
+	p := vmPacket(500)
+	p.VLAN = &packet.VLAN{ID: 999} // another tenant's VLAN
+	n.Input(p)
+	eng.Run()
+	if len(vm.pkts) != 0 {
+		t.Error("packet crossed VLANs to the wrong VF")
+	}
+	if _, _, _, _, miss := n.Counters(); miss != 1 {
+		t.Errorf("steerMiss = %d", miss)
+	}
+}
+
+func TestUntaggedGoesToVSwitch(t *testing.T) {
+	eng := sim.NewEngine(1)
+	vsw := &capture{}
+	n, _ := newNIC(eng, fabric.Discard, vsw)
+	n.Input(vmPacket(500))
+	eng.Run()
+	if len(vsw.pkts) != 1 {
+		t.Fatalf("vswitch got %d packets", len(vsw.pkts))
+	}
+}
+
+func TestVFLimit(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, _ := newNIC(eng, fabric.Discard, fabric.Discard)
+	for i := 0; i < MaxVFs; i++ {
+		if err := n.AttachVF(packet.VLANID(i+1), packet.IP(i), fabric.Discard); err != nil {
+			t.Fatalf("VF %d: %v", i, err)
+		}
+	}
+	if err := n.AttachVF(packet.VLANID(MaxVFs+1), packet.IP(MaxVFs), fabric.Discard); err == nil {
+		t.Error("VF beyond limit accepted")
+	}
+	n.DetachVF(1, 0)
+	if err := n.AttachVF(200, packet.IP(999), fabric.Discard); err != nil {
+		t.Errorf("attach after detach: %v", err)
+	}
+}
+
+func TestInvalidVLANRejected(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, _ := newNIC(eng, fabric.Discard, fabric.Discard)
+	if err := n.AttachVF(0, 1, fabric.Discard); err == nil {
+		t.Error("VLAN 0 accepted")
+	}
+	if err := n.AttachVF(4095, 1, fabric.Discard); err == nil {
+		t.Error("VLAN 4095 accepted")
+	}
+}
+
+func TestVFPathFasterThanVIFFloor(t *testing.T) {
+	// The VF delay (latency floor + hw jitter) must sit well below the
+	// vswitch path floor — the premise of the express lane.
+	eng := sim.NewEngine(1)
+	tor := &capture{}
+	var arrival time.Duration
+	n, cm := newNIC(eng, fabric.PortFunc(func(p *packet.Packet) {
+		arrival = eng.Now()
+		tor.Input(p)
+	}), fabric.Discard)
+	n.AttachVF(100, packet.MustParseIP("10.0.0.1"), fabric.Discard)
+	n.SendFromVF(100, vmPacket(64))
+	eng.Run()
+	if arrival >= cm.VIFLatency {
+		t.Errorf("VF path delay %v not below VIF floor %v", arrival, cm.VIFLatency)
+	}
+	if arrival < cm.VFLatency {
+		t.Errorf("VF path delay %v below its own floor %v", arrival, cm.VFLatency)
+	}
+}
+
+func TestHostCPUCharged(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, cm := newNIC(eng, fabric.Discard, fabric.Discard)
+	n.AttachVF(100, packet.MustParseIP("10.0.0.1"), fabric.Discard)
+	for i := 0; i < 10; i++ {
+		n.SendFromVF(100, vmPacket(64))
+	}
+	eng.Run()
+	if got := n.HostCPU.Busy(); got != 10*cm.VFHostPerInterrupt {
+		t.Errorf("host CPU charged %v, want %v", got, 10*cm.VFHostPerInterrupt)
+	}
+}

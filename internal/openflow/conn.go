@@ -1,0 +1,113 @@
+package openflow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Conn frames messages over a byte stream (a net.Conn in deployments, a
+// net.Pipe in tests). Send and Recv are independently safe for one writer
+// and one reader goroutine; Send is additionally mutex-guarded so multiple
+// senders interleave whole frames.
+type Conn struct {
+	mu      sync.Mutex
+	w       io.Writer
+	r       *bufio.Reader
+	nextXID uint32
+}
+
+// NewConn wraps rw.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{w: rw, r: bufio.NewReader(rw), nextXID: 1}
+}
+
+// Send writes one message, returning the transaction id assigned to it.
+func (c *Conn) Send(msg Message) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	xid := c.nextXID
+	c.nextXID++
+	b := Encode(msg, xid)
+	if _, err := c.w.Write(b); err != nil {
+		return 0, fmt.Errorf("openflow: send %s: %w", msg.Type(), err)
+	}
+	return xid, nil
+}
+
+// SendXID writes one message with an explicit transaction id (used for
+// replies, which echo the request's xid).
+func (c *Conn) SendXID(msg Message, xid uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(Encode(msg, xid)); err != nil {
+		return fmt.Errorf("openflow: send %s: %w", msg.Type(), err)
+	}
+	return nil
+}
+
+// Recv blocks for the next message.
+func (c *Conn) Recv() (Message, uint32, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < headerLen || length > maxBody {
+		return nil, 0, fmt.Errorf("openflow: bad frame length %d", length)
+	}
+	frame := make([]byte, length)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(c.r, frame[headerLen:]); err != nil {
+		return nil, 0, err
+	}
+	msg, xid, _, err := Decode(frame)
+	return msg, xid, err
+}
+
+// Handshake exchanges Hello messages (call on both ends). The outgoing
+// Hello is written concurrently with the read so that unbuffered
+// transports (net.Pipe) don't deadlock when both ends handshake.
+func (c *Conn) Handshake() error {
+	sendErr := make(chan error, 1)
+	go func() {
+		_, err := c.Send(Hello{})
+		sendErr <- err
+	}()
+	msg, _, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Type() != TypeHello {
+		return fmt.Errorf("openflow: expected HELLO, got %s", msg.Type())
+	}
+	return <-sendErr
+}
+
+// Handler consumes control messages; data-plane elements (flow placers,
+// the emulated switch) and controllers implement it.
+type Handler interface {
+	// HandleMessage processes msg and may reply via the provided
+	// ReplyFunc (echoing xid).
+	HandleMessage(msg Message, xid uint32, reply ReplyFunc)
+}
+
+// ReplyFunc sends a reply correlated to a request.
+type ReplyFunc func(msg Message, xid uint32)
+
+// Serve reads messages from conn and dispatches to h until read error.
+// The returned error is io.EOF on orderly close.
+func Serve(conn *Conn, h Handler) error {
+	for {
+		msg, xid, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		h.HandleMessage(msg, xid, func(m Message, x uint32) {
+			// Best effort: a broken pipe surfaces on the next Recv.
+			_ = conn.SendXID(m, x)
+		})
+	}
+}

@@ -1,0 +1,22 @@
+package openflow
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDecisionManyActionsNoRates(t *testing.T) {
+	var m OffloadDecision
+	for i := 0; i < 16; i++ {
+		p := samplePattern()
+		p.DstPort = uint16(i)
+		m.Actions = append(m.Actions, OffloadAction{Pattern: p, Offload: i%2 == 0})
+	}
+	got, _, _, err := Decode(Encode(&m, 1))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, &m) {
+		t.Error("round trip mismatch")
+	}
+}

@@ -1,0 +1,672 @@
+// Package openflow implements the control protocol between the FasTrak
+// rule manager and its data-plane elements: the flow placer in each VM's
+// bonding driver exposes "an OpenFlow interface, allowing the FasTrak rule
+// manager to direct a subset of flows via the SR-IOV interface" (§4.1.1),
+// and the TOR controller issues "OpenFlow table and flow stats requests"
+// (§5.2).
+//
+// The protocol is a compact OpenFlow-style binary framing: an 8-byte
+// header (version, type, length, xid) followed by a typed body. It runs
+// over any io.ReadWriter — real net.Conns in deployments and tests, and a
+// deterministic in-simulation transport (see Transport) inside the
+// discrete-event testbed. Both use the same byte format, so the codecs are
+// exercised on every control-plane exchange.
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// Version identifies this protocol revision.
+const Version = 1
+
+// MsgType discriminates message bodies.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeEchoRequest
+	TypeEchoReply
+	TypeFlowMod
+	TypeStatsRequest
+	TypeStatsReply
+	TypeBarrierRequest
+	TypeBarrierReply
+	// TypeDemandReport is the FasTrak experimenter message carrying a
+	// local ME's network demand report to the TOR controller (§4.3.1).
+	TypeDemandReport
+	// TypeOffloadDecision is the FasTrak experimenter message carrying
+	// the TOR DE's offload/demote decisions and rate-limit splits back
+	// to local controllers (§4.3.2).
+	TypeOffloadDecision
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeEchoRequest:
+		return "ECHO_REQUEST"
+	case TypeEchoReply:
+		return "ECHO_REPLY"
+	case TypeFlowMod:
+		return "FLOW_MOD"
+	case TypeStatsRequest:
+		return "STATS_REQUEST"
+	case TypeStatsReply:
+		return "STATS_REPLY"
+	case TypeBarrierRequest:
+		return "BARRIER_REQUEST"
+	case TypeBarrierReply:
+		return "BARRIER_REPLY"
+	case TypeDemandReport:
+		return "DEMAND_REPORT"
+	case TypeOffloadDecision:
+		return "OFFLOAD_DECISION"
+	default:
+		return fmt.Sprintf("UNKNOWN(%d)", uint8(t))
+	}
+}
+
+// headerLen is the fixed message header size.
+const headerLen = 8
+
+// maxBody bounds message bodies against corrupt length fields.
+const maxBody = 1 << 20
+
+// Message is one protocol message.
+type Message interface {
+	Type() MsgType
+	marshalBody(b *buffer)
+	unmarshalBody(b *reader) error
+}
+
+// Hello opens a connection.
+type Hello struct{}
+
+// Type implements Message.
+func (Hello) Type() MsgType               { return TypeHello }
+func (Hello) marshalBody(*buffer)         {}
+func (Hello) unmarshalBody(*reader) error { return nil }
+
+// EchoRequest is a liveness probe; EchoReply answers it.
+type EchoRequest struct{}
+
+// Type implements Message.
+func (EchoRequest) Type() MsgType               { return TypeEchoRequest }
+func (EchoRequest) marshalBody(*buffer)         {}
+func (EchoRequest) unmarshalBody(*reader) error { return nil }
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct{}
+
+// Type implements Message.
+func (EchoReply) Type() MsgType               { return TypeEchoReply }
+func (EchoReply) marshalBody(*buffer)         {}
+func (EchoReply) unmarshalBody(*reader) error { return nil }
+
+// FlowModCommand selects the FlowMod operation.
+type FlowModCommand uint8
+
+// FlowMod commands.
+const (
+	FlowAdd FlowModCommand = iota
+	FlowDelete
+)
+
+// Path selects the interface the flow placer steers matching flows to.
+type Path uint8
+
+// Flow placer output paths (§4.1.1).
+const (
+	PathVIF Path = iota // default: through the vswitch
+	PathVF              // express lane: SR-IOV bypass
+)
+
+func (p Path) String() string {
+	if p == PathVF {
+		return "vf"
+	}
+	return "vif"
+}
+
+// FlowMod installs or removes a wildcard rule in a flow placer's control
+// plane (or a rule in the emulated switch's table).
+type FlowMod struct {
+	Command  FlowModCommand
+	Pattern  rules.Pattern
+	Priority uint16
+	Out      Path
+	// Cookie correlates the rule with the controller's bookkeeping.
+	Cookie uint64
+}
+
+// Type implements Message.
+func (*FlowMod) Type() MsgType { return TypeFlowMod }
+
+func (m *FlowMod) marshalBody(b *buffer) {
+	b.u8(uint8(m.Command))
+	b.u8(uint8(m.Out))
+	b.u16(m.Priority)
+	b.u64(m.Cookie)
+	marshalPattern(b, m.Pattern)
+}
+
+func (m *FlowMod) unmarshalBody(r *reader) error {
+	m.Command = FlowModCommand(r.u8())
+	m.Out = Path(r.u8())
+	m.Priority = r.u16()
+	m.Cookie = r.u64()
+	m.Pattern = unmarshalPattern(r)
+	return r.err
+}
+
+// StatsRequest asks a data-plane element for its per-flow counters.
+type StatsRequest struct{}
+
+// Type implements Message.
+func (*StatsRequest) Type() MsgType               { return TypeStatsRequest }
+func (*StatsRequest) marshalBody(*buffer)         {}
+func (*StatsRequest) unmarshalBody(*reader) error { return nil }
+
+// FlowStat is one flow's counters in a StatsReply.
+type FlowStat struct {
+	Key     packet.FlowKey
+	Packets uint64
+	Bytes   uint64
+}
+
+// StatsReply carries per-flow counters.
+type StatsReply struct {
+	Flows []FlowStat
+}
+
+// Type implements Message.
+func (*StatsReply) Type() MsgType { return TypeStatsReply }
+
+func (m *StatsReply) marshalBody(b *buffer) {
+	b.u32(uint32(len(m.Flows)))
+	for _, f := range m.Flows {
+		marshalKey(b, f.Key)
+		b.u64(f.Packets)
+		b.u64(f.Bytes)
+	}
+}
+
+func (m *StatsReply) unmarshalBody(r *reader) error {
+	n := r.u32()
+	if uint64(n)*29 > uint64(r.remaining()) {
+		return fmt.Errorf("openflow: stats reply claims %d flows beyond body", n)
+	}
+	if n == 0 {
+		return r.err
+	}
+	m.Flows = make([]FlowStat, n)
+	for i := range m.Flows {
+		m.Flows[i].Key = unmarshalKey(r)
+		m.Flows[i].Packets = r.u64()
+		m.Flows[i].Bytes = r.u64()
+	}
+	return r.err
+}
+
+// BarrierRequest asks the element to finish processing all prior messages
+// before replying — used when flow migration must be ordered (§6.2.2).
+type BarrierRequest struct{}
+
+// Type implements Message.
+func (*BarrierRequest) Type() MsgType               { return TypeBarrierRequest }
+func (*BarrierRequest) marshalBody(*buffer)         {}
+func (*BarrierRequest) unmarshalBody(*reader) error { return nil }
+
+// BarrierReply answers a BarrierRequest.
+type BarrierReply struct{}
+
+// Type implements Message.
+func (*BarrierReply) Type() MsgType               { return TypeBarrierReply }
+func (*BarrierReply) marshalBody(*buffer)         {}
+func (*BarrierReply) unmarshalBody(*reader) error { return nil }
+
+// DemandEntry is one flow or flow aggregate's measurement in a demand
+// report: <flow/flowaggregate, pps, bps, epoch#> (§4.3.1).
+type DemandEntry struct {
+	Pattern rules.Pattern
+	PPS     float64
+	BPS     float64
+	Epoch   uint32
+	// MedianPPS and MedianBPS summarize the last M control intervals
+	// ("The report also contains historical information about the
+	// median pps and bps seen for flows").
+	MedianPPS float64
+	MedianBPS float64
+	// ActiveEpochs is n, the number of epochs the flow was active —
+	// the frequency component of the DE's score S = n × m_pps.
+	ActiveEpochs uint32
+}
+
+// DemandReport is a local controller ME's periodic report to its TOR
+// controller. Besides flow measurements it carries the hardware-side rate
+// limits the local DE computed with FPS, for the TOR controller to
+// install ("rate limits on the SR-IOV VF are applied at the TOR",
+// §4.1.4).
+type DemandReport struct {
+	ServerID uint32
+	Interval uint32 // control interval sequence number
+	Entries  []DemandEntry
+	Splits   []RateSplit
+}
+
+// Type implements Message.
+func (*DemandReport) Type() MsgType { return TypeDemandReport }
+
+func (m *DemandReport) marshalBody(b *buffer) {
+	b.u32(m.ServerID)
+	b.u32(m.Interval)
+	b.u32(uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		marshalPattern(b, e.Pattern)
+		b.f64(e.PPS)
+		b.f64(e.BPS)
+		b.u32(e.Epoch)
+		b.f64(e.MedianPPS)
+		b.f64(e.MedianBPS)
+		b.u32(e.ActiveEpochs)
+	}
+	marshalSplits(b, m.Splits)
+}
+
+func (m *DemandReport) unmarshalBody(r *reader) error {
+	m.ServerID = r.u32()
+	m.Interval = r.u32()
+	n := r.u32()
+	if uint64(n)*58 > uint64(r.remaining()) {
+		return fmt.Errorf("openflow: demand report claims %d entries beyond body", n)
+	}
+	if n > 0 {
+		m.Entries = make([]DemandEntry, n)
+	}
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		e.Pattern = unmarshalPattern(r)
+		e.PPS = r.f64()
+		e.BPS = r.f64()
+		e.Epoch = r.u32()
+		e.MedianPPS = r.f64()
+		e.MedianBPS = r.f64()
+		e.ActiveEpochs = r.u32()
+	}
+	var err error
+	m.Splits, err = unmarshalSplits(r)
+	if err != nil {
+		return err
+	}
+	return r.err
+}
+
+func marshalSplits(b *buffer, splits []RateSplit) {
+	b.u32(uint32(len(splits)))
+	for _, s := range splits {
+		b.u32(uint32(s.Tenant))
+		b.u32(uint32(s.VMIP))
+		b.f64(s.EgressSoftBps)
+		b.f64(s.EgressHardBps)
+		b.f64(s.IngressSoftBps)
+		b.f64(s.IngressHardBps)
+	}
+}
+
+func unmarshalSplits(r *reader) ([]RateSplit, error) {
+	ns := r.u32()
+	if uint64(ns)*40 > uint64(r.remaining()) {
+		return nil, fmt.Errorf("openflow: %d rate splits beyond body", ns)
+	}
+	if ns == 0 {
+		return nil, nil
+	}
+	out := make([]RateSplit, ns)
+	for i := range out {
+		s := &out[i]
+		s.Tenant = packet.TenantID(r.u32())
+		s.VMIP = packet.IP(r.u32())
+		s.EgressSoftBps = r.f64()
+		s.EgressHardBps = r.f64()
+		s.IngressSoftBps = r.f64()
+		s.IngressHardBps = r.f64()
+	}
+	return out, nil
+}
+
+// OffloadAction is one element of an offload decision.
+type OffloadAction struct {
+	Pattern rules.Pattern
+	// Offload directs the flow to hardware when true, back to software
+	// when false (a demotion).
+	Offload bool
+}
+
+// RateSplit is the FPS outcome for one VM interface pair (§4.3.2): the
+// limits Rs and Rh (already including the overflow O) per direction.
+type RateSplit struct {
+	Tenant packet.TenantID
+	VMIP   packet.IP
+	// Egress/Ingress software (VIF) and hardware (VF) limits in bps.
+	EgressSoftBps, EgressHardBps   float64
+	IngressSoftBps, IngressHardBps float64
+}
+
+// VMRate is a per-VM hardware-path rate observation the TOR controller
+// shares with local controllers, which need it as the hardware-demand
+// input to their FPS computation (§4.3.2).
+type VMRate struct {
+	Tenant packet.TenantID
+	VMIP   packet.IP
+	// EgressBps/IngressBps are the measured hardware-path rates, and
+	// EgressMaxed/IngressMaxed whether each direction hit its limit.
+	EgressBps, IngressBps     float64
+	EgressMaxed, IngressMaxed bool
+}
+
+// OffloadDecision is the TOR DE's directive to a local controller:
+// offload/demote actions plus the hardware-path rate observations for
+// co-resident VMs.
+type OffloadDecision struct {
+	Interval uint32
+	Actions  []OffloadAction
+	HWRates  []VMRate
+}
+
+// Type implements Message.
+func (*OffloadDecision) Type() MsgType { return TypeOffloadDecision }
+
+func (m *OffloadDecision) marshalBody(b *buffer) {
+	b.u32(m.Interval)
+	b.u32(uint32(len(m.Actions)))
+	for _, a := range m.Actions {
+		marshalPattern(b, a.Pattern)
+		if a.Offload {
+			b.u8(1)
+		} else {
+			b.u8(0)
+		}
+	}
+	b.u32(uint32(len(m.HWRates)))
+	for _, s := range m.HWRates {
+		b.u32(uint32(s.Tenant))
+		b.u32(uint32(s.VMIP))
+		b.f64(s.EgressBps)
+		b.f64(s.IngressBps)
+		var flags uint8
+		if s.EgressMaxed {
+			flags |= 1
+		}
+		if s.IngressMaxed {
+			flags |= 2
+		}
+		b.u8(flags)
+	}
+}
+
+func (m *OffloadDecision) unmarshalBody(r *reader) error {
+	m.Interval = r.u32()
+	na := r.u32()
+	// Each action is a 20-byte pattern plus a 1-byte flag.
+	if uint64(na)*21 > uint64(r.remaining()) {
+		return fmt.Errorf("openflow: decision claims %d actions beyond body", na)
+	}
+	if na > 0 {
+		m.Actions = make([]OffloadAction, na)
+	}
+	for i := range m.Actions {
+		m.Actions[i].Pattern = unmarshalPattern(r)
+		m.Actions[i].Offload = r.u8() == 1
+	}
+	ns := r.u32()
+	if uint64(ns)*25 > uint64(r.remaining()) {
+		return fmt.Errorf("openflow: decision claims %d rates beyond body", ns)
+	}
+	if ns == 0 {
+		return r.err
+	}
+	m.HWRates = make([]VMRate, ns)
+	for i := range m.HWRates {
+		s := &m.HWRates[i]
+		s.Tenant = packet.TenantID(r.u32())
+		s.VMIP = packet.IP(r.u32())
+		s.EgressBps = r.f64()
+		s.IngressBps = r.f64()
+		flags := r.u8()
+		s.EgressMaxed = flags&1 != 0
+		s.IngressMaxed = flags&2 != 0
+	}
+	return r.err
+}
+
+// ---- encoding primitives ----
+
+type buffer struct{ b []byte }
+
+func (b *buffer) u8(v uint8)   { b.b = append(b.b, v) }
+func (b *buffer) u16(v uint16) { b.b = binary.BigEndian.AppendUint16(b.b, v) }
+func (b *buffer) u32(v uint32) { b.b = binary.BigEndian.AppendUint32(b.b, v) }
+func (b *buffer) u64(v uint64) { b.b = binary.BigEndian.AppendUint64(b.b, v) }
+func (b *buffer) f64(v float64) {
+	b.u64(math.Float64bits(v))
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("openflow: body truncated at offset %d", r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.remaining() < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.remaining() < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.remaining() < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.remaining() < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func marshalPattern(b *buffer, p rules.Pattern) {
+	b.u32(uint32(p.Tenant))
+	if p.AnyTenant {
+		b.u8(1)
+	} else {
+		b.u8(0)
+	}
+	b.u32(uint32(p.Src))
+	b.u8(uint8(p.SrcPrefix))
+	b.u32(uint32(p.Dst))
+	b.u8(uint8(p.DstPrefix))
+	b.u16(p.SrcPort)
+	b.u16(p.DstPort)
+	b.u8(p.Proto)
+}
+
+func unmarshalPattern(r *reader) rules.Pattern {
+	var p rules.Pattern
+	p.Tenant = packet.TenantID(r.u32())
+	p.AnyTenant = r.u8() == 1
+	p.Src = packet.IP(r.u32())
+	p.SrcPrefix = int(r.u8())
+	p.Dst = packet.IP(r.u32())
+	p.DstPrefix = int(r.u8())
+	p.SrcPort = r.u16()
+	p.DstPort = r.u16()
+	p.Proto = r.u8()
+	return p
+}
+
+func marshalKey(b *buffer, k packet.FlowKey) {
+	b.u32(uint32(k.Src))
+	b.u32(uint32(k.Dst))
+	b.u16(k.SrcPort)
+	b.u16(k.DstPort)
+	b.u8(k.Proto)
+	b.u32(uint32(k.Tenant))
+}
+
+func unmarshalKey(r *reader) packet.FlowKey {
+	var k packet.FlowKey
+	k.Src = packet.IP(r.u32())
+	k.Dst = packet.IP(r.u32())
+	k.SrcPort = r.u16()
+	k.DstPort = r.u16()
+	k.Proto = r.u8()
+	k.Tenant = packet.TenantID(r.u32())
+	return k
+}
+
+// MaxFrame is the largest encodable message: the header's length field is
+// 16 bits, as in OpenFlow. Senders of unbounded collections (demand
+// reports, stats replies) must chunk below this — see ChunkDemandReport.
+const MaxFrame = 0xffff
+
+// Encode frames msg with the given transaction id. It panics when the
+// message exceeds MaxFrame: that is a sender bug (missing chunking), and
+// truncating silently would corrupt the control plane.
+func Encode(msg Message, xid uint32) []byte {
+	var body buffer
+	msg.marshalBody(&body)
+	if headerLen+len(body.b) > MaxFrame {
+		panic(fmt.Sprintf("openflow: %s message of %d bytes exceeds the %d-byte frame limit; chunk it",
+			msg.Type(), headerLen+len(body.b), MaxFrame))
+	}
+	out := make([]byte, headerLen, headerLen+len(body.b))
+	out[0] = Version
+	out[1] = uint8(msg.Type())
+	binary.BigEndian.PutUint16(out[2:4], uint16(headerLen+len(body.b)))
+	binary.BigEndian.PutUint32(out[4:8], xid)
+	return append(out, body.b...)
+}
+
+// demandChunkEntries bounds entries per DemandReport chunk: each entry is
+// 60 bytes on the wire, so 800 entries stay well under MaxFrame with
+// splits attached.
+const demandChunkEntries = 800
+
+// ChunkDemandReport splits a report into frame-sized chunks sharing the
+// same server and interval; the receiver merges chunks of one interval.
+// The rate splits ride on the first chunk only.
+func ChunkDemandReport(rep DemandReport) []DemandReport {
+	if len(rep.Entries) <= demandChunkEntries {
+		return []DemandReport{rep}
+	}
+	var out []DemandReport
+	for start := 0; start < len(rep.Entries); start += demandChunkEntries {
+		end := start + demandChunkEntries
+		if end > len(rep.Entries) {
+			end = len(rep.Entries)
+		}
+		chunk := DemandReport{ServerID: rep.ServerID, Interval: rep.Interval, Entries: rep.Entries[start:end]}
+		if start == 0 {
+			chunk.Splits = rep.Splits
+		}
+		out = append(out, chunk)
+	}
+	return out
+}
+
+// Decode parses one framed message, returning the message, its xid, and
+// the number of bytes consumed.
+func Decode(b []byte) (Message, uint32, int, error) {
+	if len(b) < headerLen {
+		return nil, 0, 0, io.ErrShortBuffer
+	}
+	if b[0] != Version {
+		return nil, 0, 0, fmt.Errorf("openflow: unsupported version %d", b[0])
+	}
+	length := int(binary.BigEndian.Uint16(b[2:4]))
+	if length < headerLen || length > maxBody {
+		return nil, 0, 0, fmt.Errorf("openflow: bad length %d", length)
+	}
+	if len(b) < length {
+		return nil, 0, 0, io.ErrShortBuffer
+	}
+	xid := binary.BigEndian.Uint32(b[4:8])
+	msg, err := newMessage(MsgType(b[1]))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	r := &reader{b: b[headerLen:length]}
+	if err := msg.unmarshalBody(r); err != nil {
+		return nil, 0, 0, err
+	}
+	return msg, xid, length, nil
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return Hello{}, nil
+	case TypeEchoRequest:
+		return EchoRequest{}, nil
+	case TypeEchoReply:
+		return EchoReply{}, nil
+	case TypeFlowMod:
+		return &FlowMod{}, nil
+	case TypeStatsRequest:
+		return &StatsRequest{}, nil
+	case TypeStatsReply:
+		return &StatsReply{}, nil
+	case TypeBarrierRequest:
+		return &BarrierRequest{}, nil
+	case TypeBarrierReply:
+		return &BarrierReply{}, nil
+	case TypeDemandReport:
+		return &DemandReport{}, nil
+	case TypeOffloadDecision:
+		return &OffloadDecision{}, nil
+	default:
+		return nil, fmt.Errorf("openflow: unknown message type %d", t)
+	}
+}

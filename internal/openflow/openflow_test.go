@@ -1,0 +1,290 @@
+package openflow
+
+import (
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+func samplePattern() rules.Pattern {
+	return rules.ExactPattern(packet.FlowKey{
+		Src: packet.MustParseIP("10.0.0.1"), Dst: packet.MustParseIP("10.0.0.2"),
+		SrcPort: 40000, DstPort: 11211, Proto: packet.ProtoTCP, Tenant: 7,
+	})
+}
+
+func TestEncodeDecodeAllTypes(t *testing.T) {
+	msgs := []Message{
+		Hello{},
+		EchoRequest{},
+		EchoReply{},
+		&FlowMod{Command: FlowAdd, Pattern: samplePattern(), Priority: 10, Out: PathVF, Cookie: 0xfeed},
+		&StatsRequest{},
+		&StatsReply{Flows: []FlowStat{{Key: packet.FlowKey{
+			Src: packet.MustParseIP("10.0.0.1"), Dst: packet.MustParseIP("10.0.0.2"),
+			SrcPort: 40000, DstPort: 11211, Proto: packet.ProtoTCP, Tenant: 7,
+		}, Packets: 5, Bytes: 500}}},
+		&BarrierRequest{},
+		&BarrierReply{},
+		&DemandReport{ServerID: 2, Interval: 9,
+			Entries: []DemandEntry{{
+				Pattern: samplePattern(), PPS: 5618, BPS: 4.5e6, Epoch: 3,
+				MedianPPS: 5000, MedianBPS: 4e6, ActiveEpochs: 7,
+			}},
+			Splits: []RateSplit{{Tenant: 7, VMIP: packet.MustParseIP("10.0.0.1"),
+				EgressSoftBps: 1e8, EgressHardBps: 9e8, IngressSoftBps: 2e8, IngressHardBps: 8e8}},
+		},
+		&OffloadDecision{Interval: 9,
+			Actions: []OffloadAction{{Pattern: samplePattern(), Offload: true}},
+			HWRates: []VMRate{{Tenant: 7, VMIP: packet.MustParseIP("10.0.0.1"),
+				EgressBps: 9e8, IngressBps: 2e8, EgressMaxed: true}},
+		},
+	}
+	for _, m := range msgs {
+		wire := Encode(m, 42)
+		got, xid, n, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Type(), err)
+		}
+		if xid != 42 || n != len(wire) {
+			t.Errorf("%s: xid=%d n=%d len=%d", m.Type(), xid, n, len(wire))
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s: round trip mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	wire := Encode(&FlowMod{Pattern: samplePattern()}, 1)
+	// Truncated.
+	if _, _, _, err := Decode(wire[:4]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, _, _, err := Decode(wire[:len(wire)-2]); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Wrong version.
+	bad := append([]byte(nil), wire...)
+	bad[0] = 99
+	if _, _, _, err := Decode(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Unknown type.
+	bad2 := append([]byte(nil), wire...)
+	bad2[1] = 200
+	if _, _, _, err := Decode(bad2); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestStatsReplyLengthBombRejected(t *testing.T) {
+	// A reply claiming 2^31 flows in a tiny body must not allocate.
+	wire := Encode(&StatsReply{}, 1)
+	// Body currently holds count=0 at offset 8; rewrite to huge count.
+	wire[8], wire[9], wire[10], wire[11] = 0x7f, 0xff, 0xff, 0xff
+	if _, _, _, err := Decode(wire); err == nil {
+		t.Error("length bomb accepted")
+	}
+}
+
+func TestConnOverPipe(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	a, b := NewConn(c1), NewConn(c2)
+
+	done := make(chan error, 1)
+	go func() {
+		msg, xid, err := b.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		if msg.Type() != TypeStatsRequest {
+			done <- io.ErrUnexpectedEOF
+			return
+		}
+		done <- b.SendXID(&StatsReply{Flows: []FlowStat{{Packets: 1}}}, xid)
+	}()
+
+	xid, err := a.Send(&StatsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, rxid, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rxid != xid {
+		t.Errorf("reply xid %d != request %d", rxid, xid)
+	}
+	sr, ok := reply.(*StatsReply)
+	if !ok || len(sr.Flows) != 1 || sr.Flows[0].Packets != 1 {
+		t.Errorf("reply = %#v", reply)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnHandshake(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	a, b := NewConn(c1), NewConn(c2)
+	errs := make(chan error, 2)
+	go func() { errs <- a.Handshake() }()
+	go func() { errs <- b.Handshake() }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type recordingHandler struct {
+	got   []Message
+	reply Message
+}
+
+func (h *recordingHandler) HandleMessage(msg Message, xid uint32, reply ReplyFunc) {
+	h.got = append(h.got, msg)
+	if h.reply != nil {
+		reply(h.reply, xid)
+	}
+}
+
+func TestServeDispatches(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	a, b := NewConn(c1), NewConn(c2)
+	h := &recordingHandler{reply: &BarrierReply{}}
+	done := make(chan error, 1)
+	go func() { done <- Serve(b, h) }()
+
+	xid, err := a.Send(&BarrierRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, rxid, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type() != TypeBarrierReply || rxid != xid {
+		t.Errorf("reply %s xid %d", reply.Type(), rxid)
+	}
+	c2.Close()
+	<-done
+	if len(h.got) != 1 || h.got[0].Type() != TypeBarrierRequest {
+		t.Errorf("handler saw %v", h.got)
+	}
+}
+
+func TestSimTransportPair(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ctrl := &recordingHandler{}
+	dp := &recordingHandler{reply: &BarrierReply{}}
+	toDP, _ := Pair(eng, 50*time.Microsecond, ctrl, dp)
+
+	var sentXID uint32
+	eng.At(0, func() {
+		sentXID = toDP.Send(&BarrierRequest{})
+	})
+	eng.Run()
+	if len(dp.got) != 1 || dp.got[0].Type() != TypeBarrierRequest {
+		t.Fatalf("data plane saw %v", dp.got)
+	}
+	if len(ctrl.got) != 1 || ctrl.got[0].Type() != TypeBarrierReply {
+		t.Fatalf("controller saw %v", ctrl.got)
+	}
+	_ = sentXID
+	// One-way delay each direction: full exchange completes at 100µs.
+	if eng.Now() != 100*time.Microsecond {
+		t.Errorf("exchange finished at %v, want 100µs", eng.Now())
+	}
+	if toDP.Sent != 1 || toDP.SentBytes == 0 {
+		t.Errorf("accounting: sent=%d bytes=%d", toDP.Sent, toDP.SentBytes)
+	}
+}
+
+// Property: FlowMod round-trips for arbitrary patterns.
+func TestFlowModRoundTripProperty(t *testing.T) {
+	f := func(tenant, src, dst uint32, srcPfx, dstPfx uint8, sp, dp uint16, proto uint8, prio uint16, out bool, cookie uint64) bool {
+		m := &FlowMod{
+			Command: FlowDelete,
+			Pattern: rules.Pattern{
+				Tenant: packet.TenantID(tenant),
+				Src:    packet.IP(src), SrcPrefix: int(srcPfx % 33),
+				Dst: packet.IP(dst), DstPrefix: int(dstPfx % 33),
+				SrcPort: sp, DstPort: dp, Proto: proto,
+			},
+			Priority: prio,
+			Cookie:   cookie,
+		}
+		if out {
+			m.Out = PathVF
+		}
+		got, xid, _, err := Decode(Encode(m, 7))
+		if err != nil || xid != 7 {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeOversizedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized message encoded without panic")
+		}
+	}()
+	big := &StatsReply{Flows: make([]FlowStat, 3000)}
+	Encode(big, 1)
+}
+
+func TestChunkDemandReport(t *testing.T) {
+	rep := DemandReport{ServerID: 4, Interval: 9,
+		Splits: []RateSplit{{Tenant: 1}},
+	}
+	for i := 0; i < 2100; i++ {
+		rep.Entries = append(rep.Entries, DemandEntry{PPS: float64(i)})
+	}
+	chunks := ChunkDemandReport(rep)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(chunks))
+	}
+	total := 0
+	for i, ch := range chunks {
+		if ch.ServerID != 4 || ch.Interval != 9 {
+			t.Errorf("chunk %d header wrong", i)
+		}
+		if i == 0 && len(ch.Splits) != 1 {
+			t.Error("splits missing from first chunk")
+		}
+		if i > 0 && len(ch.Splits) != 0 {
+			t.Error("splits duplicated on later chunk")
+		}
+		// Each chunk must encode within the frame limit.
+		_ = Encode(&ch, 1)
+		total += len(ch.Entries)
+	}
+	if total != 2100 {
+		t.Errorf("entries lost: %d", total)
+	}
+	// Small reports pass through unchunked.
+	small := DemandReport{Entries: make([]DemandEntry, 5)}
+	if got := ChunkDemandReport(small); len(got) != 1 {
+		t.Errorf("small report chunked into %d", len(got))
+	}
+}

@@ -1,0 +1,40 @@
+package packet
+
+// NewTCP builds a TCP packet between two endpoints with a payload of the
+// given total size carried virtually (no allocation). Sequence numbers and
+// flags default to zero; callers that model TCP semantics (internal/
+// tcpmodel) fill them in.
+func NewTCP(tenant TenantID, src, dst IP, srcPort, dstPort uint16, payloadLen int) *Packet {
+	return &Packet{
+		IP:             IPv4{TTL: 64, Proto: ProtoTCP, Src: src, Dst: dst},
+		TCP:            &TCPHeader{SrcPort: srcPort, DstPort: dstPort, Window: 0xffff},
+		VirtualPayload: payloadLen,
+		Tenant:         tenant,
+	}
+}
+
+// NewUDP builds a UDP packet between two endpoints with a virtual payload.
+func NewUDP(tenant TenantID, src, dst IP, srcPort, dstPort uint16, payloadLen int) *Packet {
+	return &Packet{
+		IP:             IPv4{TTL: 64, Proto: ProtoUDP, Src: src, Dst: dst},
+		UDP:            &UDPHeader{SrcPort: srcPort, DstPort: dstPort},
+		VirtualPayload: payloadLen,
+		Tenant:         tenant,
+	}
+}
+
+// FromKey builds a minimal packet matching the given flow key, used by
+// tests and by the controller when probing rule tables.
+func FromKey(k FlowKey, payloadLen int) *Packet {
+	switch k.Proto {
+	case ProtoUDP:
+		return NewUDP(k.Tenant, k.Src, k.Dst, k.SrcPort, k.DstPort, payloadLen)
+	default:
+		p := NewTCP(k.Tenant, k.Src, k.Dst, k.SrcPort, k.DstPort, payloadLen)
+		p.IP.Proto = k.Proto
+		if k.Proto != ProtoTCP {
+			p.TCP = nil
+		}
+		return p
+	}
+}

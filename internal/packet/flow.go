@@ -1,0 +1,105 @@
+package packet
+
+import "fmt"
+
+// FlowKey is the paper's 6-tuple flow identifier (§4.3.1): "A flow is
+// specified by a 6 tuple: Source and destination IPs, L4 ports, L4 protocol
+// and a Tenant ID." It is a comparable value type, usable directly as a map
+// key in exact-match tables.
+type FlowKey struct {
+	Src, Dst         IP
+	SrcPort, DstPort uint16
+	Proto            byte
+	Tenant           TenantID
+}
+
+// Reverse returns the key of the opposite direction of the same
+// conversation.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		Src: k.Dst, Dst: k.Src,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto, Tenant: k.Tenant,
+	}
+}
+
+// FastHash returns a 64-bit FNV-1a hash of the key. It is not symmetric:
+// the two directions of a conversation hash differently, matching the flow
+// placer's per-direction exact-match entries.
+func (k FlowKey) FastHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(k.Src >> (8 * i)))
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(k.Dst >> (8 * i)))
+	}
+	mix(byte(k.SrcPort))
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.DstPort))
+	mix(byte(k.DstPort >> 8))
+	mix(k.Proto)
+	for i := 0; i < 4; i++ {
+		mix(byte(k.Tenant >> (8 * i)))
+	}
+	return h
+}
+
+// String renders the key for logs and experiment output.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("t%d %s:%d>%s:%d/%d", k.Tenant, k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
+}
+
+// AggregateKey is the measurement engine's per-VM-per-application flow
+// aggregate (§4.3.1): "instead of collecting statistics for every unique 6
+// tuple, we collect statistics on unique <Source VM IP, Source L4 port,
+// Tenant ID> and <Destination VM IP, Destination L4 port, Tenant ID>
+// flows." Dir distinguishes the two aggregate families.
+type AggregateKey struct {
+	VMIP   IP
+	Port   uint16
+	Tenant TenantID
+	Dir    Direction
+}
+
+// Direction labels which endpoint of the flow the aggregate pivots on.
+type Direction byte
+
+// Aggregate directions.
+const (
+	// Egress aggregates flows by <source VM IP, source L4 port, tenant>.
+	Egress Direction = iota
+	// Ingress aggregates flows by <destination VM IP, destination L4 port, tenant>.
+	Ingress
+)
+
+func (d Direction) String() string {
+	if d == Egress {
+		return "egress"
+	}
+	return "ingress"
+}
+
+// EgressAggregate returns the <source VM IP, source port, tenant> aggregate
+// for the flow.
+func (k FlowKey) EgressAggregate() AggregateKey {
+	return AggregateKey{VMIP: k.Src, Port: k.SrcPort, Tenant: k.Tenant, Dir: Egress}
+}
+
+// IngressAggregate returns the <destination VM IP, destination port,
+// tenant> aggregate for the flow.
+func (k FlowKey) IngressAggregate() AggregateKey {
+	return AggregateKey{VMIP: k.Dst, Port: k.DstPort, Tenant: k.Tenant, Dir: Ingress}
+}
+
+func (a AggregateKey) String() string {
+	return fmt.Sprintf("t%d %s %s:%d", a.Tenant, a.Dir, a.VMIP, a.Port)
+}

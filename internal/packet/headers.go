@@ -1,0 +1,351 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Header sizes in bytes.
+const (
+	EthernetHeaderLen = 14
+	VLANTagLen        = 4
+	IPv4HeaderLen     = 20 // no options
+	TCPHeaderLen      = 20 // no options
+	UDPHeaderLen      = 8
+	GREBaseHeaderLen  = 4
+	GREKeyLen         = 4
+	VXLANHeaderLen    = 8
+)
+
+// Ethernet is an Ethernet II header. When a VLAN tag is present the tag is
+// carried separately (Packet.VLAN) and EtherType describes the payload
+// beyond the tag.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// VLAN is an 802.1Q tag. The testbed uses it on the server↔ToR hop: the
+// NIC tags SR-IOV VF traffic with the tenant's VLAN ID so the ToR can pick
+// the right VRF table (§4.2.1).
+type VLAN struct {
+	PCP uint8 // priority code point (0–7)
+	ID  VLANID
+}
+
+// IPv4 is an IPv4 header without options. TotalLen and checksum are
+// computed during marshaling.
+type IPv4 struct {
+	TOS      byte
+	Ident    uint16
+	TTL      byte
+	Proto    byte
+	Src, Dst IP
+}
+
+// TCPFlags is the TCP flag byte.
+type TCPFlags byte
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+func (f TCPFlags) String() string {
+	s := ""
+	for _, fl := range []struct {
+		bit  TCPFlags
+		name string
+	}{{FlagSYN, "S"}, {FlagACK, "A"}, {FlagFIN, "F"}, {FlagRST, "R"}, {FlagPSH, "P"}} {
+		if f&fl.bit != 0 {
+			s += fl.name
+		}
+	}
+	if s == "" {
+		return "."
+	}
+	return s
+}
+
+// TCPHeader is a TCP header without options.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            TCPFlags
+	Window           uint16
+}
+
+// UDPHeader is a UDP header; length and checksum are computed during
+// marshaling.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+}
+
+// GRE is a GRE header (RFC 1701/2890). FasTrak reuses the optional 32-bit
+// key to carry the tenant ID across the fabric (§4.1.3).
+type GRE struct {
+	HasKey bool
+	Key    uint32
+	Proto  uint16 // EtherType of the encapsulated protocol
+}
+
+// Len returns the wire length of the GRE header.
+func (g GRE) Len() int {
+	if g.HasKey {
+		return GREBaseHeaderLen + GREKeyLen
+	}
+	return GREBaseHeaderLen
+}
+
+// VXLAN is a VXLAN header carrying a 24-bit VNI.
+type VXLAN struct {
+	VNI uint32
+}
+
+// checksum computes the Internet checksum (RFC 1071) over b with an initial
+// partial sum.
+func checksum(b []byte, initial uint32) uint16 {
+	sum := initial
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func (e Ethernet) marshal(b []byte) {
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+}
+
+func unmarshalEthernet(b []byte) (Ethernet, error) {
+	if len(b) < EthernetHeaderLen {
+		return Ethernet{}, fmt.Errorf("packet: ethernet header truncated: %d bytes", len(b))
+	}
+	var e Ethernet
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return e, nil
+}
+
+func (v VLAN) marshal(b []byte, innerEtherType uint16) {
+	tci := uint16(v.PCP&0x7)<<13 | uint16(v.ID)&0x0fff
+	binary.BigEndian.PutUint16(b[0:2], tci)
+	binary.BigEndian.PutUint16(b[2:4], innerEtherType)
+}
+
+func unmarshalVLAN(b []byte) (VLAN, uint16, error) {
+	if len(b) < VLANTagLen {
+		return VLAN{}, 0, fmt.Errorf("packet: vlan tag truncated: %d bytes", len(b))
+	}
+	tci := binary.BigEndian.Uint16(b[0:2])
+	return VLAN{PCP: uint8(tci >> 13), ID: VLANID(tci & 0x0fff)}, binary.BigEndian.Uint16(b[2:4]), nil
+}
+
+// marshal writes the IPv4 header with the given total length (header +
+// payload), computing the header checksum.
+func (ip IPv4) marshal(b []byte, totalLen int) error {
+	if totalLen > 0xffff {
+		return fmt.Errorf("packet: ipv4 total length %d exceeds 65535", totalLen)
+	}
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(totalLen))
+	binary.BigEndian.PutUint16(b[4:6], ip.Ident)
+	binary.BigEndian.PutUint16(b[6:8], 0) // flags+fragment offset: DF not modeled
+	b[8] = ip.TTL
+	b[9] = ip.Proto
+	binary.BigEndian.PutUint16(b[10:12], 0) // checksum placeholder
+	binary.BigEndian.PutUint32(b[12:16], uint32(ip.Src))
+	binary.BigEndian.PutUint32(b[16:20], uint32(ip.Dst))
+	binary.BigEndian.PutUint16(b[10:12], checksum(b[:IPv4HeaderLen], 0))
+	return nil
+}
+
+func unmarshalIPv4(b []byte) (IPv4, int, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4{}, 0, fmt.Errorf("packet: ipv4 header truncated: %d bytes", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return IPv4{}, 0, fmt.Errorf("packet: not IPv4: version %d", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl != IPv4HeaderLen {
+		return IPv4{}, 0, fmt.Errorf("packet: ipv4 options unsupported: ihl %d", ihl)
+	}
+	if checksum(b[:IPv4HeaderLen], 0) != 0 {
+		return IPv4{}, 0, fmt.Errorf("packet: ipv4 header checksum mismatch")
+	}
+	ip := IPv4{
+		TOS:   b[1],
+		Ident: binary.BigEndian.Uint16(b[4:6]),
+		TTL:   b[8],
+		Proto: b[9],
+		Src:   IP(binary.BigEndian.Uint32(b[12:16])),
+		Dst:   IP(binary.BigEndian.Uint32(b[16:20])),
+	}
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if totalLen < IPv4HeaderLen {
+		return IPv4{}, 0, fmt.Errorf("packet: ipv4 total length %d < header length", totalLen)
+	}
+	return ip, totalLen, nil
+}
+
+// pseudoHeaderSum computes the partial checksum of the TCP/UDP pseudo
+// header.
+func pseudoHeaderSum(src, dst IP, proto byte, l4len int) uint32 {
+	var sum uint32
+	sum += uint32(src >> 16)
+	sum += uint32(src & 0xffff)
+	sum += uint32(dst >> 16)
+	sum += uint32(dst & 0xffff)
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}
+
+// marshal writes the TCP header and checksum. payload holds the real
+// payload bytes; virtualLen is the count of additional implicit zero bytes
+// (zeros do not perturb the one's-complement sum, so the checksum remains
+// exact).
+func (t TCPHeader) marshal(b []byte, ip IPv4, payload []byte, virtualLen int) {
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = byte(t.Flags)
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[16:18], 0) // checksum placeholder
+	binary.BigEndian.PutUint16(b[18:20], 0) // urgent pointer
+	l4len := TCPHeaderLen + len(payload) + virtualLen
+	sum := pseudoHeaderSum(ip.Src, ip.Dst, ProtoTCP, l4len)
+	csum := checksumTwoPart(b[:TCPHeaderLen], payload, sum)
+	binary.BigEndian.PutUint16(b[16:18], csum)
+}
+
+func unmarshalTCP(b []byte) (TCPHeader, error) {
+	if len(b) < TCPHeaderLen {
+		return TCPHeader{}, fmt.Errorf("packet: tcp header truncated: %d bytes", len(b))
+	}
+	if off := int(b[12]>>4) * 4; off != TCPHeaderLen {
+		return TCPHeader{}, fmt.Errorf("packet: tcp options unsupported: offset %d", off)
+	}
+	return TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   TCPFlags(b[13]),
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+	}, nil
+}
+
+func (u UDPHeader) marshal(b []byte, ip IPv4, payload []byte, virtualLen int) {
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	l4len := UDPHeaderLen + len(payload) + virtualLen
+	binary.BigEndian.PutUint16(b[4:6], uint16(l4len))
+	binary.BigEndian.PutUint16(b[6:8], 0)
+	sum := pseudoHeaderSum(ip.Src, ip.Dst, ProtoUDP, l4len)
+	csum := checksumTwoPart(b[:UDPHeaderLen], payload, sum)
+	if csum == 0 {
+		csum = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[6:8], csum)
+}
+
+func unmarshalUDP(b []byte) (UDPHeader, error) {
+	if len(b) < UDPHeaderLen {
+		return UDPHeader{}, fmt.Errorf("packet: udp header truncated: %d bytes", len(b))
+	}
+	return UDPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+	}, nil
+}
+
+// checksumTwoPart computes the checksum of hdr followed by payload without
+// concatenating them. hdr must have even length.
+func checksumTwoPart(hdr, payload []byte, initial uint32) uint16 {
+	sum := initial
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	b := payload
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Marshal writes the GRE header.
+func (g GRE) Marshal(b []byte) {
+	var flags uint16
+	if g.HasKey {
+		flags |= 0x2000 // K bit
+	}
+	binary.BigEndian.PutUint16(b[0:2], flags)
+	binary.BigEndian.PutUint16(b[2:4], g.Proto)
+	if g.HasKey {
+		binary.BigEndian.PutUint32(b[4:8], g.Key)
+	}
+}
+
+// UnmarshalGRE parses a GRE header, returning the header and its length.
+func UnmarshalGRE(b []byte) (GRE, int, error) {
+	if len(b) < GREBaseHeaderLen {
+		return GRE{}, 0, fmt.Errorf("packet: gre header truncated: %d bytes", len(b))
+	}
+	flags := binary.BigEndian.Uint16(b[0:2])
+	g := GRE{Proto: binary.BigEndian.Uint16(b[2:4])}
+	n := GREBaseHeaderLen
+	if flags&0x2000 != 0 {
+		if len(b) < GREBaseHeaderLen+GREKeyLen {
+			return GRE{}, 0, fmt.Errorf("packet: gre key truncated")
+		}
+		g.HasKey = true
+		g.Key = binary.BigEndian.Uint32(b[4:8])
+		n += GREKeyLen
+	}
+	if flags&0xd000 != 0 { // C, R, S bits unsupported
+		return GRE{}, 0, fmt.Errorf("packet: gre optional fields unsupported: flags %#x", flags)
+	}
+	return g, n, nil
+}
+
+// Marshal writes the VXLAN header.
+func (v VXLAN) Marshal(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], 1<<27) // I flag: VNI valid
+	binary.BigEndian.PutUint32(b[4:8], v.VNI<<8)
+}
+
+// UnmarshalVXLAN parses a VXLAN header.
+func UnmarshalVXLAN(b []byte) (VXLAN, error) {
+	if len(b) < VXLANHeaderLen {
+		return VXLAN{}, fmt.Errorf("packet: vxlan header truncated: %d bytes", len(b))
+	}
+	if binary.BigEndian.Uint32(b[0:4])&(1<<27) == 0 {
+		return VXLAN{}, fmt.Errorf("packet: vxlan I flag not set")
+	}
+	return VXLAN{VNI: binary.BigEndian.Uint32(b[4:8]) >> 8}, nil
+}

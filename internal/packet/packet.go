@@ -1,0 +1,291 @@
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Meta carries simulation bookkeeping that is not on the wire: timestamps
+// for latency accounting and the path label for experiment breakdowns.
+// Real switches keep equivalent per-packet metadata in their pipeline.
+type Meta struct {
+	// SentAt is the virtual time the application handed the payload to
+	// the stack; latency histograms measure arrival minus SentAt.
+	SentAt time.Duration
+	// Path records which interface the packet left the VM through
+	// ("vif" or "vf"), set by the flow placer.
+	Path string
+	// Seq is an application-level sequence/transaction number used by
+	// workload generators to match responses to requests.
+	Seq uint64
+}
+
+// Packet is one frame moving through the testbed. Headers are structured
+// for cheap inspection in the simulation hot path and marshal to exact wire
+// bytes on demand (see Marshal); tunnel encap/decap round-trips through the
+// byte format.
+//
+// Payload may hold real bytes; VirtualPayload adds that many implicit zero
+// bytes so experiments can model 32000-byte application writes without
+// allocating them. All length and checksum computations account for the
+// virtual bytes exactly (zeros are transparent to the Internet checksum).
+type Packet struct {
+	Eth  Ethernet
+	VLAN *VLAN // optional 802.1Q tag
+	IP   IPv4
+	TCP  *TCPHeader // set iff IP.Proto == ProtoTCP
+	UDP  *UDPHeader // set iff IP.Proto == ProtoUDP
+
+	Payload        []byte
+	VirtualPayload int
+
+	// Tenant is pipeline metadata: the tenant the packet was attributed
+	// to by the vswitch (from its VIF) or by the ToR (from the VLAN tag
+	// or GRE key). It is not an on-wire field of the inner packet.
+	Tenant TenantID
+
+	Meta Meta
+}
+
+// PayloadLen returns the total L4 payload length, real plus virtual.
+func (p *Packet) PayloadLen() int { return len(p.Payload) + p.VirtualPayload }
+
+// l4Len returns the length of the L4 header plus payload.
+func (p *Packet) l4Len() int {
+	switch {
+	case p.TCP != nil:
+		return TCPHeaderLen + p.PayloadLen()
+	case p.UDP != nil:
+		return UDPHeaderLen + p.PayloadLen()
+	default:
+		return p.PayloadLen()
+	}
+}
+
+// IPLen returns the IPv4 total length (header + L4).
+func (p *Packet) IPLen() int { return IPv4HeaderLen + p.l4Len() }
+
+// WireLen returns the full frame length on the wire, including Ethernet
+// and any VLAN tag. Serialization delay on links is computed from this.
+func (p *Packet) WireLen() int {
+	n := EthernetHeaderLen + p.IPLen()
+	if p.VLAN != nil {
+		n += VLANTagLen
+	}
+	return n
+}
+
+// Key returns the packet's 6-tuple FlowKey (§4.3.1), combining on-wire
+// addressing with the pipeline's tenant attribution.
+func (p *Packet) Key() FlowKey {
+	k := FlowKey{Src: p.IP.Src, Dst: p.IP.Dst, Proto: p.IP.Proto, Tenant: p.Tenant}
+	switch {
+	case p.TCP != nil:
+		k.SrcPort, k.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		k.SrcPort, k.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return k
+}
+
+// Clone returns a deep copy sharing no mutable state with p. The fabric
+// never aliases packets between queues, mirroring real store-and-forward
+// behaviour.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.VLAN != nil {
+		v := *p.VLAN
+		q.VLAN = &v
+	}
+	if p.TCP != nil {
+		t := *p.TCP
+		q.TCP = &t
+	}
+	if p.UDP != nil {
+		u := *p.UDP
+		q.UDP = &u
+	}
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+// Marshal serializes the frame starting at the Ethernet header. Virtual
+// payload bytes are written as zeros.
+func (p *Packet) Marshal() ([]byte, error) {
+	b := make([]byte, p.WireLen())
+	off := 0
+	eth := p.Eth
+	if p.VLAN != nil {
+		eth.EtherType = EtherTypeVLAN
+	} else {
+		eth.EtherType = EtherTypeIPv4
+	}
+	eth.marshal(b[off:])
+	off += EthernetHeaderLen
+	if p.VLAN != nil {
+		p.VLAN.marshal(b[off:], EtherTypeIPv4)
+		off += VLANTagLen
+	}
+	if err := p.marshalIPv4(b[off:]); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// MarshalIPv4 serializes from the IPv4 header onward — the form GRE
+// carries across the fabric (GRE protocol type 0x0800).
+func (p *Packet) MarshalIPv4() ([]byte, error) {
+	b := make([]byte, p.IPLen())
+	if err := p.marshalIPv4(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// MarshalTruncated serializes the frame with virtual payload bytes elided:
+// headers and real payload only, while length fields and checksums still
+// describe the full packet (virtual bytes are zeros, which the Internet
+// checksum ignores). Tunnel encapsulation uses this so a 32000-byte
+// virtual payload never gets materialized; Unmarshal of the truncated
+// bytes reconstructs the virtual length from the IP total-length field.
+func (p *Packet) MarshalTruncated() ([]byte, error) {
+	b := make([]byte, p.WireLen()-p.VirtualPayload)
+	off := 0
+	eth := p.Eth
+	if p.VLAN != nil {
+		eth.EtherType = EtherTypeVLAN
+	} else {
+		eth.EtherType = EtherTypeIPv4
+	}
+	eth.marshal(b[off:])
+	off += EthernetHeaderLen
+	if p.VLAN != nil {
+		p.VLAN.marshal(b[off:], EtherTypeIPv4)
+		off += VLANTagLen
+	}
+	if err := p.marshalIPv4(b[off:]); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// MarshalIPv4Truncated is MarshalIPv4 with virtual payload bytes elided
+// (see MarshalTruncated).
+func (p *Packet) MarshalIPv4Truncated() ([]byte, error) {
+	b := make([]byte, p.IPLen()-p.VirtualPayload)
+	if err := p.marshalIPv4(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (p *Packet) marshalIPv4(b []byte) error {
+	if err := p.IP.marshal(b, p.IPLen()); err != nil {
+		return err
+	}
+	off := IPv4HeaderLen
+	switch {
+	case p.TCP != nil:
+		if p.IP.Proto != ProtoTCP {
+			return fmt.Errorf("packet: TCP header with IP proto %d", p.IP.Proto)
+		}
+		p.TCP.marshal(b[off:], p.IP, p.Payload, p.VirtualPayload)
+		off += TCPHeaderLen
+	case p.UDP != nil:
+		if p.IP.Proto != ProtoUDP {
+			return fmt.Errorf("packet: UDP header with IP proto %d", p.IP.Proto)
+		}
+		p.UDP.marshal(b[off:], p.IP, p.Payload, p.VirtualPayload)
+		off += UDPHeaderLen
+	}
+	copy(b[off:], p.Payload)
+	// Remaining bytes are already zero (virtual payload).
+	return nil
+}
+
+// Unmarshal parses a frame starting at the Ethernet header. The IPv4 total
+// length field reconstructs any virtual payload: bytes promised by the
+// header but not present in b are restored as VirtualPayload.
+func Unmarshal(b []byte) (*Packet, error) {
+	eth, err := unmarshalEthernet(b)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{Eth: eth}
+	off := EthernetHeaderLen
+	if eth.EtherType == EtherTypeVLAN {
+		v, inner, err := unmarshalVLAN(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		p.VLAN = &v
+		p.Eth.EtherType = inner
+		off += VLANTagLen
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: unsupported ethertype %#04x", p.Eth.EtherType)
+	}
+	if err := unmarshalIPv4Into(p, b[off:]); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UnmarshalIPv4 parses from the IPv4 header onward (the GRE inner form).
+func UnmarshalIPv4(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := unmarshalIPv4Into(p, b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func unmarshalIPv4Into(p *Packet, b []byte) error {
+	ip, totalLen, err := unmarshalIPv4(b)
+	if err != nil {
+		return err
+	}
+	p.IP = ip
+	off := IPv4HeaderLen
+	switch ip.Proto {
+	case ProtoTCP:
+		t, err := unmarshalTCP(b[off:])
+		if err != nil {
+			return err
+		}
+		p.TCP = &t
+		off += TCPHeaderLen
+	case ProtoUDP:
+		u, err := unmarshalUDP(b[off:])
+		if err != nil {
+			return err
+		}
+		p.UDP = &u
+		off += UDPHeaderLen
+	}
+	present := len(b) - off
+	promised := totalLen - off
+	if promised < 0 {
+		return fmt.Errorf("packet: total length %d shorter than headers", totalLen)
+	}
+	if present > promised {
+		present = promised // trailing padding beyond IP total length
+	}
+	if present > 0 {
+		p.Payload = append([]byte(nil), b[off:off+present]...)
+	}
+	p.VirtualPayload = promised - present
+	return nil
+}
+
+// String renders a one-line summary for traces.
+func (p *Packet) String() string {
+	k := p.Key()
+	extra := ""
+	if p.TCP != nil {
+		extra = fmt.Sprintf(" %s seq=%d ack=%d", p.TCP.Flags, p.TCP.Seq, p.TCP.Ack)
+	}
+	return fmt.Sprintf("%s len=%d%s", k, p.WireLen(), extra)
+}

@@ -1,0 +1,318 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPStringAndParse(t *testing.T) {
+	ip := MakeIP(10, 1, 2, 3)
+	if got := ip.String(); got != "10.1.2.3" {
+		t.Errorf("String = %q, want 10.1.2.3", got)
+	}
+	back, err := ParseIP("10.1.2.3")
+	if err != nil || back != ip {
+		t.Errorf("ParseIP = %v, %v; want %v", back, err, ip)
+	}
+	if _, err := ParseIP("not-an-ip"); err == nil {
+		t.Error("ParseIP accepted garbage")
+	}
+	if _, err := ParseIP("::1"); err == nil {
+		t.Error("ParseIP accepted IPv6")
+	}
+}
+
+func TestIPMask(t *testing.T) {
+	ip := MustParseIP("10.1.2.3")
+	cases := []struct {
+		prefix int
+		want   string
+	}{
+		{32, "10.1.2.3"}, {24, "10.1.2.0"}, {16, "10.1.0.0"}, {8, "10.0.0.0"}, {0, "0.0.0.0"},
+	}
+	for _, c := range cases {
+		if got := ip.Mask(c.prefix).String(); got != c.want {
+			t.Errorf("Mask(%d) = %s, want %s", c.prefix, got, c.want)
+		}
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Errorf("MAC.String = %q", got)
+	}
+	if !(MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}).IsBroadcast() {
+		t.Error("broadcast MAC not detected")
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{Src: MustParseIP("10.0.0.1"), Dst: MustParseIP("10.0.0.2"),
+		SrcPort: 1000, DstPort: 80, Proto: ProtoTCP, Tenant: 7}
+	r := k.Reverse()
+	if r.Src != k.Dst || r.Dst != k.Src || r.SrcPort != k.DstPort || r.DstPort != k.SrcPort {
+		t.Errorf("Reverse = %v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double Reverse is not identity")
+	}
+}
+
+func TestFlowKeyHashDistinguishesTenants(t *testing.T) {
+	// Overlapping tenant IPs (requirement C1): same 5-tuple, different
+	// tenant, must be distinct flows.
+	a := FlowKey{Src: MustParseIP("192.168.0.1"), Dst: MustParseIP("192.168.0.2"),
+		SrcPort: 5000, DstPort: 80, Proto: ProtoTCP, Tenant: 1}
+	b := a
+	b.Tenant = 2
+	if a == b {
+		t.Fatal("keys compare equal across tenants")
+	}
+	if a.FastHash() == b.FastHash() {
+		t.Error("FastHash collides across tenants for identical 5-tuples")
+	}
+}
+
+func TestAggregateKeys(t *testing.T) {
+	k := FlowKey{Src: MustParseIP("10.0.0.1"), Dst: MustParseIP("10.0.0.2"),
+		SrcPort: 31337, DstPort: 11211, Proto: ProtoTCP, Tenant: 3}
+	eg := k.EgressAggregate()
+	if eg.VMIP != k.Src || eg.Port != k.SrcPort || eg.Tenant != 3 || eg.Dir != Egress {
+		t.Errorf("EgressAggregate = %v", eg)
+	}
+	in := k.IngressAggregate()
+	if in.VMIP != k.Dst || in.Port != k.DstPort || in.Dir != Ingress {
+		t.Errorf("IngressAggregate = %v", in)
+	}
+	// Two client flows to the same service share the ingress aggregate.
+	k2 := k
+	k2.SrcPort = 40000
+	if k2.IngressAggregate() != in {
+		t.Error("flows to the same service have different ingress aggregates")
+	}
+}
+
+func roundTrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if len(b) != p.WireLen() {
+		t.Fatalf("Marshal produced %d bytes, WireLen says %d", len(b), p.WireLen())
+	}
+	q, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return q
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	p := NewTCP(9, MustParseIP("10.0.0.1"), MustParseIP("10.0.0.2"), 44000, 11211, 0)
+	p.Payload = []byte("get key\r\n")
+	p.TCP.Seq, p.TCP.Ack, p.TCP.Flags = 100, 200, FlagACK|FlagPSH
+	p.Eth.Src = MAC{2, 0, 0, 0, 0, 1}
+	p.Eth.Dst = MAC{2, 0, 0, 0, 0, 2}
+	q := roundTrip(t, p)
+	if q.IP.Src != p.IP.Src || q.IP.Dst != p.IP.Dst || q.IP.Proto != ProtoTCP {
+		t.Errorf("IP mismatch: %+v", q.IP)
+	}
+	if q.TCP == nil || *q.TCP != *p.TCP {
+		t.Errorf("TCP mismatch: %+v vs %+v", q.TCP, p.TCP)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) || q.VirtualPayload != 0 {
+		t.Errorf("payload mismatch: %q virtual=%d", q.Payload, q.VirtualPayload)
+	}
+	if q.Eth.Src != p.Eth.Src || q.Eth.Dst != p.Eth.Dst {
+		t.Errorf("eth mismatch: %+v", q.Eth)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	p := NewUDP(4, MustParseIP("172.16.0.5"), MustParseIP("172.16.0.9"), 999, 53, 0)
+	p.Payload = []byte{1, 2, 3, 4, 5} // odd length exercises checksum padding
+	q := roundTrip(t, p)
+	if q.UDP == nil || *q.UDP != *p.UDP {
+		t.Errorf("UDP mismatch: %+v", q.UDP)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Errorf("payload mismatch: %v", q.Payload)
+	}
+}
+
+func TestVirtualPayloadRoundTrip(t *testing.T) {
+	// A 32000-byte virtual payload survives the wire: marshal writes
+	// zeros, unmarshal of a truncated capture reconstructs the length
+	// from the IP total-length field.
+	p := NewTCP(1, MustParseIP("10.0.0.1"), MustParseIP("10.0.0.2"), 1, 2, 32000)
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	wantLen := EthernetHeaderLen + IPv4HeaderLen + TCPHeaderLen + 32000
+	if len(b) != wantLen {
+		t.Fatalf("wire length %d, want %d", len(b), wantLen)
+	}
+	// Full-capture parse: payload is all zeros, so it may come back as
+	// real bytes; total payload length must be preserved.
+	q, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if q.PayloadLen() != 32000 {
+		t.Errorf("PayloadLen = %d, want 32000", q.PayloadLen())
+	}
+	// Truncated capture (headers only): virtual payload reconstructed.
+	q2, err := Unmarshal(b[:EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen])
+	if err != nil {
+		t.Fatalf("Unmarshal truncated: %v", err)
+	}
+	if q2.VirtualPayload != 32000 || len(q2.Payload) != 0 {
+		t.Errorf("truncated parse: virtual=%d real=%d", q2.VirtualPayload, len(q2.Payload))
+	}
+}
+
+func TestVLANRoundTrip(t *testing.T) {
+	p := NewTCP(2, MustParseIP("10.0.0.1"), MustParseIP("10.0.0.2"), 1, 2, 64)
+	p.VLAN = &VLAN{PCP: 5, ID: 1234}
+	q := roundTrip(t, p)
+	if q.VLAN == nil || q.VLAN.ID != 1234 || q.VLAN.PCP != 5 {
+		t.Errorf("VLAN mismatch: %+v", q.VLAN)
+	}
+	if q.WireLen() != p.WireLen() {
+		t.Errorf("WireLen mismatch: %d vs %d", q.WireLen(), p.WireLen())
+	}
+}
+
+func TestIPv4ChecksumValidated(t *testing.T) {
+	p := NewUDP(1, MustParseIP("1.1.1.1"), MustParseIP("2.2.2.2"), 1, 2, 8)
+	b, _ := p.Marshal()
+	b[EthernetHeaderLen+12] ^= 0xff // corrupt src IP
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("corrupted IPv4 header accepted")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	p := NewTCP(1, MustParseIP("1.1.1.1"), MustParseIP("2.2.2.2"), 1, 2, 100)
+	b, _ := p.Marshal()
+	for _, n := range []int{0, 5, EthernetHeaderLen - 1, EthernetHeaderLen + 3, EthernetHeaderLen + IPv4HeaderLen - 1} {
+		if _, err := Unmarshal(b[:n]); err == nil {
+			t.Errorf("truncated frame of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestUnmarshalRejectsUnknownEtherType(t *testing.T) {
+	b := make([]byte, 64)
+	b[12], b[13] = 0x86, 0xdd // IPv6
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("IPv6 ethertype accepted")
+	}
+}
+
+func TestGREHeaderRoundTrip(t *testing.T) {
+	g := GRE{HasKey: true, Key: 0xdeadbeef, Proto: EtherTypeIPv4}
+	b := make([]byte, g.Len())
+	g.Marshal(b)
+	got, n, err := UnmarshalGRE(b)
+	if err != nil || n != 8 || got != g {
+		t.Errorf("GRE round trip: %+v n=%d err=%v", got, n, err)
+	}
+	// Keyless.
+	g2 := GRE{Proto: EtherTypeIPv4}
+	b2 := make([]byte, g2.Len())
+	g2.Marshal(b2)
+	got2, n2, err := UnmarshalGRE(b2)
+	if err != nil || n2 != 4 || got2 != g2 {
+		t.Errorf("keyless GRE round trip: %+v n=%d err=%v", got2, n2, err)
+	}
+}
+
+func TestVXLANHeaderRoundTrip(t *testing.T) {
+	v := VXLAN{VNI: 0x123456}
+	b := make([]byte, VXLANHeaderLen)
+	v.Marshal(b)
+	got, err := UnmarshalVXLAN(b)
+	if err != nil || got != v {
+		t.Errorf("VXLAN round trip: %+v err=%v", got, err)
+	}
+	var zero [VXLANHeaderLen]byte
+	if _, err := UnmarshalVXLAN(zero[:]); err == nil {
+		t.Error("VXLAN header without I flag accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := NewTCP(1, MustParseIP("1.1.1.1"), MustParseIP("2.2.2.2"), 1, 2, 0)
+	p.Payload = []byte{1, 2, 3}
+	p.VLAN = &VLAN{ID: 10}
+	q := p.Clone()
+	q.Payload[0] = 99
+	q.TCP.Seq = 42
+	q.VLAN.ID = 20
+	if p.Payload[0] == 99 || p.TCP.Seq == 42 || p.VLAN.ID == 20 {
+		t.Error("Clone shares mutable state")
+	}
+}
+
+func TestPacketKeyFromBuilders(t *testing.T) {
+	k := FlowKey{Src: MustParseIP("10.0.0.1"), Dst: MustParseIP("10.0.0.2"),
+		SrcPort: 31337, DstPort: 80, Proto: ProtoTCP, Tenant: 5}
+	p := FromKey(k, 100)
+	if p.Key() != k {
+		t.Errorf("FromKey.Key = %v, want %v", p.Key(), k)
+	}
+	ku := k
+	ku.Proto = ProtoUDP
+	pu := FromKey(ku, 100)
+	if pu.Key() != ku || pu.UDP == nil {
+		t.Errorf("FromKey UDP: %v", pu.Key())
+	}
+}
+
+// Property: any generated TCP packet survives a marshal/unmarshal round
+// trip with key, lengths and header fields intact.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, tenant uint32, payload []byte, seq, ack uint32, virtual uint16) bool {
+		p := NewTCP(TenantID(tenant), IP(src), IP(dst), sp, dp, 0)
+		p.Payload = payload
+		p.VirtualPayload = int(virtual)
+		p.TCP.Seq, p.TCP.Ack = seq, ack
+		if p.IPLen() > 0xffff {
+			return true // oversized; Marshal correctly refuses elsewhere
+		}
+		b, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		q, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		q.Tenant = p.Tenant // tenant is pipeline metadata, not on the wire
+		return q.Key() == p.Key() && q.PayloadLen() == p.PayloadLen() && *q.TCP == *p.TCP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOversizedPacketRejected(t *testing.T) {
+	p := NewTCP(1, 1, 2, 1, 2, 70000)
+	if _, err := p.Marshal(); err == nil {
+		t.Error("packet exceeding IPv4 total length accepted")
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "SA" {
+		t.Errorf("Flags.String = %q, want SA", got)
+	}
+	if got := TCPFlags(0).String(); got != "." {
+		t.Errorf("zero flags = %q, want .", got)
+	}
+}

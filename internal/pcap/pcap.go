@@ -1,0 +1,171 @@
+// Package pcap writes and reads libpcap capture files, and provides a tap
+// that records packets crossing any point of the emulated testbed. Traces
+// of simulation runs (e.g. the Figure 12 migration episode) can be opened
+// directly in Wireshark/tcpdump, since the data-plane packets marshal to
+// genuine wire bytes.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+const (
+	// magicMicros is the classic little-endian pcap magic with
+	// microsecond timestamps.
+	magicMicros = 0xa1b2c3d4
+	// linkTypeEthernet is LINKTYPE_ETHERNET (DLT_EN10MB).
+	linkTypeEthernet = 1
+	versionMajor     = 2
+	versionMinor     = 4
+)
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snaplen uint32
+	packets uint64
+}
+
+// NewWriter writes the pcap global header. snaplen 0 defaults to 65535.
+func NewWriter(w io.Writer, snaplen uint32) (*Writer, error) {
+	if snaplen == 0 {
+		snaplen = 65535
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: write header: %w", err)
+	}
+	return &Writer{w: w, snaplen: snaplen}, nil
+}
+
+// WriteFrame records one frame. ts is the capture timestamp (virtual time
+// works: pcap stores seconds/microseconds since an epoch). origLen is the
+// untruncated on-wire length; data may be shorter (snapped).
+func (w *Writer) WriteFrame(ts time.Duration, data []byte, origLen int) error {
+	capLen := uint32(len(data))
+	if capLen > w.snaplen {
+		capLen = w.snaplen
+		data = data[:capLen]
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ts/time.Second))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(ts%time.Second/time.Microsecond))
+	binary.LittleEndian.PutUint32(hdr[8:12], capLen)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(origLen))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap: write record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: write record: %w", err)
+	}
+	w.packets++
+	return nil
+}
+
+// WritePacket marshals and records a testbed packet. Virtual payload is
+// elided on disk (a snap, like a short tcpdump snaplen) while the record
+// header reports the true wire length.
+func (w *Writer) WritePacket(ts time.Duration, p *packet.Packet) error {
+	data, err := p.MarshalTruncated()
+	if err != nil {
+		return err
+	}
+	return w.WriteFrame(ts, data, p.WireLen())
+}
+
+// Packets returns the number of records written.
+func (w *Writer) Packets() uint64 { return w.packets }
+
+// Record is one parsed capture record.
+type Record struct {
+	Ts      time.Duration
+	Data    []byte
+	OrigLen int
+}
+
+// Reader parses a pcap stream written by Writer (little-endian,
+// microsecond).
+type Reader struct {
+	r       io.Reader
+	Snaplen uint32
+}
+
+// NewReader validates the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magicMicros {
+		return nil, fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != linkTypeEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	return &Reader{r: r, Snaplen: binary.LittleEndian.Uint32(hdr[16:20])}, nil
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (r *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return Record{}, err
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:4])
+	usec := binary.LittleEndian.Uint32(hdr[4:8])
+	capLen := binary.LittleEndian.Uint32(hdr[8:12])
+	origLen := binary.LittleEndian.Uint32(hdr[12:16])
+	if capLen > r.Snaplen {
+		return Record{}, fmt.Errorf("pcap: record caplen %d exceeds snaplen %d", capLen, r.Snaplen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: short record: %w", err)
+	}
+	return Record{
+		Ts:      time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond,
+		Data:    data,
+		OrigLen: int(origLen),
+	}, nil
+}
+
+// Tap is a fabric.Port that records every packet passing through before
+// forwarding it — insert it on any link or pipeline point to capture a
+// trace.
+type Tap struct {
+	eng  *sim.Engine
+	w    *Writer
+	next fabric.Port
+	// Err holds the first write error (the capture stops, traffic
+	// continues).
+	Err error
+}
+
+// NewTap wires a capture point in front of next.
+func NewTap(eng *sim.Engine, w *Writer, next fabric.Port) *Tap {
+	return &Tap{eng: eng, w: w, next: next}
+}
+
+// Input implements fabric.Port.
+func (t *Tap) Input(p *packet.Packet) {
+	if t.Err == nil {
+		t.Err = t.w.WritePacket(t.eng.Now(), p)
+	}
+	t.next.Input(p)
+}

@@ -1,0 +1,193 @@
+package ratelimit
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTokenBucketConformingTraffic(t *testing.T) {
+	// 8 Mbps bucket, 1500-byte packets every 2ms = 6 Mbps: always conforming.
+	b := NewTokenBucket(8e6, 12000)
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		if d := b.Reserve(now, 1500); d != 0 {
+			t.Fatalf("conforming packet %d delayed %v", i, d)
+		}
+		now += 2 * time.Millisecond
+	}
+}
+
+func TestTokenBucketShapesBurst(t *testing.T) {
+	// 8 Mbps, burst one packet. Back-to-back packets each add 1.5ms
+	// (12000 bits / 8Mbps) of delay.
+	b := NewTokenBucket(8e6, 12000)
+	if d := b.Reserve(0, 1500); d != 0 {
+		t.Fatalf("first packet delayed %v", d)
+	}
+	d2 := b.Reserve(0, 1500)
+	if d2 != 1500*time.Microsecond {
+		t.Errorf("second packet delay = %v, want 1.5ms", d2)
+	}
+	d3 := b.Reserve(0, 1500)
+	if d3 != 3000*time.Microsecond {
+		t.Errorf("third packet delay = %v, want 3ms", d3)
+	}
+}
+
+func TestTokenBucketLongRunRate(t *testing.T) {
+	// Offered 20 Mbps against a 10 Mbps shaper: total delay over N
+	// packets must stretch the schedule to the shaped rate.
+	b := NewTokenBucket(10e6, 12000)
+	const n = 1000
+	var now time.Duration
+	var lastDeliver time.Duration
+	for i := 0; i < n; i++ {
+		d := b.Reserve(now, 1500)
+		if dv := now + d; dv > lastDeliver {
+			lastDeliver = dv
+		}
+		now += 600 * time.Microsecond // 20 Mbps offered
+	}
+	gotRate := float64(n*1500*8) / lastDeliver.Seconds()
+	if gotRate > 10.5e6 || gotRate < 9.5e6 {
+		t.Errorf("shaped rate = %.2f Mbps, want ~10", gotRate/1e6)
+	}
+}
+
+func TestTokenBucketAllowPolices(t *testing.T) {
+	b := NewTokenBucket(8e6, 12000) // one packet of burst
+	if !b.Allow(0, 1500) {
+		t.Fatal("first packet should pass")
+	}
+	if b.Allow(0, 1500) {
+		t.Fatal("second back-to-back packet should be dropped")
+	}
+	// After 1.5ms the bucket has refilled one packet.
+	if !b.Allow(1500*time.Microsecond, 1500) {
+		t.Error("packet after refill should pass")
+	}
+}
+
+func TestTokenBucketSetRate(t *testing.T) {
+	b := NewTokenBucket(1e6, 8000)
+	b.Reserve(0, 10000) // drain deep
+	b.SetRate(0, 100e6)
+	// Deficit now amortizes at the new rate.
+	d := b.Reserve(0, 0)
+	if d > 10*time.Millisecond {
+		t.Errorf("deficit at new rate took %v", d)
+	}
+}
+
+func TestTokenBucketPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero rate accepted")
+		}
+	}()
+	NewTokenBucket(0, 100)
+}
+
+func TestUnlimited(t *testing.T) {
+	b := Unlimited()
+	for i := 0; i < 1000; i++ {
+		if !b.Allow(0, 1<<20) || b.Reserve(0, 1<<20) != 0 {
+			t.Fatal("unlimited bucket limited")
+		}
+	}
+}
+
+func TestUsageMeter(t *testing.T) {
+	var m UsageMeter
+	for i := 0; i < 100; i++ {
+		m.Record(1250) // 100 × 1250B = 1Mb
+	}
+	rate := m.Sample(100 * time.Millisecond)
+	if rate < 9.9e6 || rate > 10.1e6 {
+		t.Errorf("rate = %v, want ~10 Mbps", rate)
+	}
+	if !m.MaxedOut(10e6, 0.05) {
+		t.Error("meter at limit not detected as maxed out")
+	}
+	if m.MaxedOut(20e6, 0.05) {
+		t.Error("meter at half limit reported maxed out")
+	}
+	if m.MaxedOut(0, 0.05) {
+		t.Error("zero limit reported maxed out")
+	}
+	// Second interval with no traffic: rate drops to 0.
+	if r := m.Sample(200 * time.Millisecond); r != 0 {
+		t.Errorf("idle interval rate = %v", r)
+	}
+}
+
+// Property: cumulative delivery never exceeds rate*t + burst (token bucket
+// conformance invariant).
+func TestTokenBucketConformanceProperty(t *testing.T) {
+	f := func(sizes []uint16, gapsMicro []uint8) bool {
+		const rate, burst = 5e6, 20000.0
+		b := NewTokenBucket(rate, burst)
+		now := time.Duration(0)
+		sentBits := 0.0
+		var horizon time.Duration
+		for i, s := range sizes {
+			if i < len(gapsMicro) {
+				now += time.Duration(gapsMicro[i]) * time.Microsecond
+			}
+			d := b.Reserve(now, int(s))
+			deliverAt := now + d
+			if deliverAt > horizon {
+				horizon = deliverAt
+			}
+			sentBits += float64(s) * 8
+			// Conformance: everything delivered by `deliverAt`
+			// must fit within rate*deliverAt + burst.
+			if sentBits > rate*deliverAt.Seconds()+burst+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReserveLimitBoundsBacklog(t *testing.T) {
+	b := NewTokenBucket(8e6, 12000) // one packet of burst
+	// First packet passes; flooding builds delay until the cap.
+	accepted, dropped := 0, 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := b.ReserveLimit(0, 1500, 10*time.Millisecond); ok {
+			accepted++
+		} else {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no drops despite backlog cap")
+	}
+	// Accepted backlog is bounded by cap×rate: 10ms at 8 Mbps = 80 kbit
+	// ≈ 6-7 packets plus the burst.
+	if accepted > 12 {
+		t.Errorf("accepted %d packets, backlog cap not enforced", accepted)
+	}
+	// Refund: a drop must not consume tokens — after the cap is hit,
+	// waiting long enough restores full service.
+	if _, ok := b.ReserveLimit(time.Second, 1500, 10*time.Millisecond); !ok {
+		t.Error("bucket did not recover after drops")
+	}
+}
+
+func TestReserveLimitConformingUnaffected(t *testing.T) {
+	b := NewTokenBucket(8e6, 12000)
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		d, ok := b.ReserveLimit(now, 1500, 50*time.Millisecond)
+		if !ok || d != 0 {
+			t.Fatalf("conforming packet %d: d=%v ok=%v", i, d, ok)
+		}
+		now += 2 * time.Millisecond
+	}
+}

@@ -1,0 +1,126 @@
+// Package tunnel implements the two encapsulations of the FasTrak data
+// plane (§4.1.3, §4.2):
+//
+//   - VXLAN, used by the software path: the vswitch wraps VM frames in
+//     UDP toward the destination *server*, with the tenant in the VNI.
+//   - GRE, used by the hardware path: the ToR wraps offloaded VM packets
+//     toward the destination *ToR*, reusing the 32-bit GRE key to carry
+//     the tenant ID ("The GRE key field is 32 bits in size and can
+//     accommodate 2^32 tenants").
+//
+// Encapsulation is performed on real wire bytes: the inner packet is
+// marshaled into the outer payload and parsed back on decap, so every
+// tunneled hop exercises the codecs end to end.
+package tunnel
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// GREEncap wraps inner in an outer IPv4+GRE packet from src to dst (ToR
+// loopback addresses), with the tenant ID in the GRE key. The inner frame
+// is carried from its IPv4 header (GRE protocol type 0x0800).
+func GREEncap(src, dst packet.IP, tenant packet.TenantID, inner *packet.Packet) (*packet.Packet, error) {
+	innerBytes, err := inner.MarshalIPv4Truncated()
+	if err != nil {
+		return nil, fmt.Errorf("tunnel: gre encap: %w", err)
+	}
+	g := packet.GRE{HasKey: true, Key: uint32(tenant), Proto: packet.EtherTypeIPv4}
+	payload := make([]byte, g.Len()+len(innerBytes))
+	g.Marshal(payload)
+	copy(payload[g.Len():], innerBytes)
+
+	outer := &packet.Packet{
+		IP:      packet.IPv4{TTL: 64, Proto: packet.ProtoGRE, Src: src, Dst: dst},
+		Payload: payload,
+		// Virtual payload of the inner packet is preserved as virtual
+		// bytes of the outer packet: lengths stay exact without
+		// allocating the data.
+		VirtualPayload: inner.VirtualPayload,
+		Tenant:         tenant,
+		Meta:           inner.Meta,
+	}
+	return outer, nil
+}
+
+// GREDecap unwraps a GRE packet, returning the inner packet and the tenant
+// ID from the key. The ToR uses the key to select the VRF table before
+// ACL checking (§4.2.2).
+func GREDecap(outer *packet.Packet) (*packet.Packet, packet.TenantID, error) {
+	if outer.IP.Proto != packet.ProtoGRE {
+		return nil, 0, fmt.Errorf("tunnel: gre decap: ip proto %d", outer.IP.Proto)
+	}
+	g, n, err := packet.UnmarshalGRE(outer.Payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !g.HasKey {
+		return nil, 0, fmt.Errorf("tunnel: gre packet without tenant key")
+	}
+	if g.Proto != packet.EtherTypeIPv4 {
+		return nil, 0, fmt.Errorf("tunnel: gre inner proto %#04x unsupported", g.Proto)
+	}
+	inner, err := packet.UnmarshalIPv4(outer.Payload[n:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("tunnel: gre inner parse: %w", err)
+	}
+	// Virtual bytes elided from the outer payload belong to the inner
+	// payload; UnmarshalIPv4 already reconstructed the count from the
+	// inner total-length field, but when the outer carried them
+	// explicitly the inner parse found real bytes instead. Either way
+	// PayloadLen is exact. Restore simulation metadata not on the wire.
+	tenant := packet.TenantID(g.Key)
+	inner.Tenant = tenant
+	inner.Meta = outer.Meta
+	return inner, tenant, nil
+}
+
+// VXLANEncap wraps an inner VM frame in IPv4+UDP+VXLAN from src to dst
+// (server addresses), with the tenant ID as the VNI. The inner frame is
+// carried from its Ethernet header, per the VXLAN spec. The UDP source
+// port is derived from the inner flow hash for fabric ECMP entropy, as
+// real implementations do.
+func VXLANEncap(src, dst packet.IP, tenant packet.TenantID, inner *packet.Packet) (*packet.Packet, error) {
+	innerBytes, err := inner.MarshalTruncated()
+	if err != nil {
+		return nil, fmt.Errorf("tunnel: vxlan encap: %w", err)
+	}
+	var v packet.VXLAN
+	v.VNI = uint32(tenant) & 0xffffff
+	payload := make([]byte, packet.VXLANHeaderLen+len(innerBytes))
+	v.Marshal(payload)
+	copy(payload[packet.VXLANHeaderLen:], innerBytes)
+
+	srcPort := uint16(inner.Key().FastHash()&0x3fff) + 49152
+	outer := &packet.Packet{
+		IP:             packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+		UDP:            &packet.UDPHeader{SrcPort: srcPort, DstPort: packet.VXLANPort},
+		Payload:        payload,
+		VirtualPayload: inner.VirtualPayload,
+		Tenant:         tenant,
+		Meta:           inner.Meta,
+	}
+	return outer, nil
+}
+
+// VXLANDecap unwraps a VXLAN packet, returning the inner frame and the
+// tenant from the VNI.
+func VXLANDecap(outer *packet.Packet) (*packet.Packet, packet.TenantID, error) {
+	if outer.UDP == nil || outer.UDP.DstPort != packet.VXLANPort {
+		return nil, 0, fmt.Errorf("tunnel: vxlan decap: not a VXLAN packet")
+	}
+	v, err := packet.UnmarshalVXLAN(outer.Payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	inner, err := packet.Unmarshal(outer.Payload[packet.VXLANHeaderLen:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("tunnel: vxlan inner parse: %w", err)
+	}
+	tenant := packet.TenantID(v.VNI)
+	inner.Tenant = tenant
+	inner.Meta = outer.Meta
+	return inner, tenant, nil
+}

@@ -1,0 +1,476 @@
+// Package vswitch implements the hypervisor's software switch — the Open
+// vSwitch role of §2.2: a user-space slow path holding tenant security
+// rules, a kernel fast path with an O(1) exact-match cache, VXLAN
+// tunneling toward remote servers, and htb (`tc`) rate limiting on VM
+// virtual interfaces. All per-packet work is charged to the host's network
+// CPU station via the Exec hook, and the serialized qdisc work to a
+// per-VIF station, so CPU contention and queueing latency emerge in the
+// simulation exactly where they arise on a real server.
+package vswitch
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/packet"
+	"repro/internal/ratelimit"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/tunnel"
+)
+
+// Exec submits work with the given CPU cost to a processing station and
+// runs fn when the work completes. internal/host's CPUStation provides it.
+type Exec func(cost time.Duration, fn func())
+
+// Inline is an Exec that charges nothing and runs immediately — useful in
+// unit tests that exercise switching logic without a CPU model.
+var Inline Exec = func(_ time.Duration, fn func()) { fn() }
+
+// VMKey identifies a VM attachment: tenant plus tenant-assigned IP
+// (overlapping across tenants, requirement C1).
+type VMKey struct {
+	Tenant packet.TenantID
+	IP     packet.IP
+}
+
+// fpVerdict is the fast-path cached decision for a flow.
+type fpVerdict struct {
+	allow bool
+	queue int
+}
+
+// vport is one VM's virtual interface attachment.
+type vport struct {
+	key     VMKey
+	rules   *rules.VMRules
+	deliver fabric.Port
+	// htbExec serializes qdisc work for this VIF (the qdisc lock).
+	htbExec Exec
+	// egress/ingress shaping buckets; nil = no limit.
+	egress, ingress *ratelimit.TokenBucket
+	// egressClock/ingressClock enforce FIFO delivery per direction:
+	// jittered path latencies never reorder packets within a vport,
+	// matching the in-order softirq queues of a real vswitch.
+	egressClock, ingressClock time.Duration
+	// meters observe achieved rates for FPS max-out detection.
+	egressMeter, ingressMeter ratelimit.UsageMeter
+}
+
+// Switch is one server's vswitch.
+type Switch struct {
+	eng *sim.Engine
+	cm  *model.CostModel
+	cfg model.VSwitchConfig
+
+	serverIP packet.IP
+	hostExec Exec
+	uplink   fabric.Port
+
+	vports   map[VMKey]*vport
+	tunnels  *rules.TunnelTable
+	fastpath *rules.ExactTable[fpVerdict]
+	// pendingUpcalls coalesces concurrent slow-path misses for the same
+	// flow: the first packet pays the user-space rule scan; packets
+	// arriving meanwhile wait on it instead of re-scanning.
+	pendingUpcalls map[packet.FlowKey][]func(fpVerdict)
+
+	// HostCPU accounts all vswitch CPU time (reported by Fig. 4).
+	HostCPU *metrics.CPUAccount
+
+	upcalls    uint64
+	denied     uint64
+	unrouted   uint64
+	txPackets  uint64
+	rxPackets  uint64
+	shapeDrops uint64
+}
+
+// New builds a vswitch for the server at serverIP. hostExec runs the
+// shared host network CPUs; uplink leads to the NIC's physical port.
+func New(eng *sim.Engine, cm *model.CostModel, cfg model.VSwitchConfig, serverIP packet.IP, hostExec Exec, uplink fabric.Port) *Switch {
+	return &Switch{
+		eng: eng, cm: cm, cfg: cfg,
+		serverIP:       serverIP,
+		hostExec:       hostExec,
+		uplink:         uplink,
+		vports:         make(map[VMKey]*vport),
+		tunnels:        rules.NewTunnelTable(),
+		fastpath:       rules.NewExactTable[fpVerdict](),
+		pendingUpcalls: make(map[packet.FlowKey][]func(fpVerdict)),
+		HostCPU:        &metrics.CPUAccount{},
+	}
+}
+
+// SetUplink rewires the physical port (topology assembly).
+func (s *Switch) SetUplink(p fabric.Port) { s.uplink = p }
+
+// AttachVM connects a VM's VIF. vmRules holds the tenant's security/QoS
+// rules for the VM; deliver receives packets destined to the VM; htbExec
+// is the VIF's serialized qdisc station.
+func (s *Switch) AttachVM(key VMKey, vmRules *rules.VMRules, deliver fabric.Port, htbExec Exec) {
+	if htbExec == nil {
+		htbExec = Inline
+	}
+	s.vports[key] = &vport{key: key, rules: vmRules, deliver: deliver, htbExec: htbExec}
+}
+
+// DetachVM removes a VM (it is migrating away); its fast-path entries are
+// purged.
+func (s *Switch) DetachVM(key VMKey) {
+	delete(s.vports, key)
+	var stale []packet.FlowKey
+	s.fastpath.Entries(func(e *rules.ExactEntry[fpVerdict]) {
+		if e.Key.Tenant == key.Tenant && (e.Key.Src == key.IP || e.Key.Dst == key.IP) {
+			stale = append(stale, e.Key)
+		}
+	})
+	for _, k := range stale {
+		s.fastpath.Remove(k)
+	}
+}
+
+// SetTunnel installs a (tenant, remote VM IP) → remote server mapping.
+func (s *Switch) SetTunnel(m rules.TunnelMapping) { s.tunnels.Set(m) }
+
+// RemoveTunnel drops a mapping (VM migration updates, requirement S4).
+func (s *Switch) RemoveTunnel(tenant packet.TenantID, vmIP packet.IP) {
+	s.tunnels.Remove(tenant, vmIP)
+}
+
+// SetVIFLimits installs htb shaping rates on a VM's VIF; zero disables a
+// direction. FasTrak's local DE calls this every control interval with the
+// FPS split Rs (§4.3.2).
+func (s *Switch) SetVIFLimits(key VMKey, egressBps, ingressBps float64) error {
+	vp, ok := s.vports[key]
+	if !ok {
+		return fmt.Errorf("vswitch: no such VM %v", key)
+	}
+	now := s.eng.Now()
+	vp.egress = makeBucket(vp.egress, now, egressBps)
+	vp.ingress = makeBucket(vp.ingress, now, ingressBps)
+	return nil
+}
+
+func makeBucket(cur *ratelimit.TokenBucket, now time.Duration, bps float64) *ratelimit.TokenBucket {
+	if bps <= 0 {
+		return nil
+	}
+	if cur != nil {
+		cur.SetRate(now, bps)
+		return cur
+	}
+	// htb-like burst: ~1 ms at rate, floor of four MTUs.
+	burst := math.Max(bps/1000, 4*1500*8)
+	return ratelimit.NewTokenBucket(bps, burst)
+}
+
+// VIFRates samples a VM's achieved VIF rates (egress, ingress) in bps and
+// whether each direction is maxed out against the given limits.
+func (s *Switch) VIFRates(key VMKey) (egressBps, ingressBps float64, ok bool) {
+	vp, found := s.vports[key]
+	if !found {
+		return 0, 0, false
+	}
+	now := s.eng.Now()
+	return vp.egressMeter.Sample(now), vp.ingressMeter.Sample(now), true
+}
+
+// invalidate flushes fast-path entries matching a pattern; the FasTrak
+// local controller calls this when rules for offloaded flows change.
+func (s *Switch) Invalidate(p rules.Pattern) int {
+	var stale []packet.FlowKey
+	s.fastpath.Entries(func(e *rules.ExactEntry[fpVerdict]) {
+		if p.Match(e.Key) {
+			stale = append(stale, e.Key)
+		}
+	})
+	for _, k := range stale {
+		s.fastpath.Remove(k)
+	}
+	return len(stale)
+}
+
+// exec charges the host station and accounts the time.
+func (s *Switch) exec(cost time.Duration, fn func()) {
+	s.HostCPU.Charge(cost)
+	s.hostExec(cost, fn)
+}
+
+// OutputFromVM processes a packet a VM sends through its VIF: fast-path
+// (or slow-path) rule check, htb shaping, VXLAN encap, then the NIC.
+func (s *Switch) OutputFromVM(key VMKey, p *packet.Packet) {
+	vp, ok := s.vports[key]
+	if !ok {
+		s.unrouted++
+		return
+	}
+	p.Tenant = key.Tenant
+	p.Meta.Path = "vif"
+	cost := s.cm.VSwitchUnitCost(p.PayloadLen(), s.cfg)
+	s.exec(cost, func() {
+		s.classify(p, func(v fpVerdict) {
+			if !v.allow {
+				s.denied++
+				return
+			}
+			s.shapeEgress(vp, p, func() {
+				s.addPathLatency(&vp.egressClock, func() { s.transmit(vp, p) })
+			})
+		})
+	})
+}
+
+// classify resolves the packet's verdict via the fast path, falling back
+// to the user-space slow path on a miss (§2.2).
+func (s *Switch) classify(p *packet.Packet, then func(fpVerdict)) {
+	k := p.Key()
+	if e := s.fastpath.Lookup(k); e != nil {
+		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
+		bumpSegments(e, p)
+		then(e.Value)
+		return
+	}
+	// Slow path: upcall to user space, linear rule scan, install.
+	// Concurrent misses for the same flow coalesce onto one scan.
+	if waiters, pending := s.pendingUpcalls[k]; pending {
+		s.pendingUpcalls[k] = append(waiters, func(v fpVerdict) {
+			if e := s.fastpath.Lookup(k); e != nil {
+				e.Stats.Hit(wireSegBytes(p), s.eng.Now())
+				bumpSegments(e, p)
+			}
+			then(v)
+		})
+		return
+	}
+	s.upcalls++
+	s.pendingUpcalls[k] = nil
+	s.exec(s.cm.SlowPathCost(s.ruleCount(k)), func() {
+		v := s.evaluate(k)
+		e := s.fastpath.Install(k, v)
+		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
+		bumpSegments(e, p)
+		waiters := s.pendingUpcalls[k]
+		delete(s.pendingUpcalls, k)
+		then(v)
+		for _, w := range waiters {
+			w(v)
+		}
+	})
+}
+
+// bumpSegments accounts additional wire segments beyond the first so pps
+// statistics reflect on-the-wire packet counts after TSO segmentation.
+func bumpSegments(e *rules.ExactEntry[fpVerdict], p *packet.Packet) {
+	extra := model.Segments(p.PayloadLen()) - 1
+	if extra > 0 {
+		e.Stats.Packets += uint64(extra)
+	}
+}
+
+func wireSegBytes(p *packet.Packet) int { return p.WireLen() }
+
+func (s *Switch) ruleCount(k packet.FlowKey) int {
+	n := s.cfg.SecurityRules
+	for _, vp := range s.vports {
+		if vp.key.Tenant == k.Tenant && (vp.key.IP == k.Src || vp.key.IP == k.Dst) {
+			n += len(vp.rules.Security)
+		}
+	}
+	return n
+}
+
+// evaluate computes the verdict for a flow from the rules of the local
+// endpoint VMs, source endpoint first (deterministically), denying if any
+// rule-bearing endpoint denies. In the microbenchmark configurations with
+// no explicit rules, traffic is allowed (baseline OVS is a plain L2
+// switch).
+func (s *Switch) evaluate(k packet.FlowKey) fpVerdict {
+	verdict := fpVerdict{allow: true}
+	for _, ip := range [2]packet.IP{k.Src, k.Dst} {
+		vp, ok := s.vports[VMKey{Tenant: k.Tenant, IP: ip}]
+		if !ok || len(vp.rules.Security) == 0 {
+			continue
+		}
+		if vp.rules.Evaluate(k) != rules.Allow {
+			return fpVerdict{}
+		}
+		if q := vp.rules.QueueFor(k); q > verdict.queue {
+			verdict.queue = q
+		}
+	}
+	return verdict
+}
+
+// shapeEgress applies the VIF's htb: serialized qdisc cost plus token-
+// bucket shaping delay.
+func (s *Switch) shapeEgress(vp *vport, p *packet.Packet, then func()) {
+	bucket := vp.egress
+	if s.cfg.RateLimitBps > 0 && bucket == nil {
+		// Microbenchmark config: fixed per-VIF limit.
+		vp.egress = makeBucket(nil, s.eng.Now(), s.cfg.RateLimitBps)
+		bucket = vp.egress
+	}
+	if bucket == nil {
+		vp.egressMeter.Record(p.WireLen())
+		then()
+		return
+	}
+	vp.htbExec(s.cm.HTBPerPacket, func() {
+		delay, ok := bucket.ReserveLimit(s.eng.Now(), p.WireLen(), maxShapeDelay)
+		if !ok {
+			s.shapeDrops++
+			return
+		}
+		vp.egressMeter.Record(p.WireLen())
+		s.eng.After(delay, then)
+	})
+}
+
+// maxShapeDelay bounds the htb backlog: packets that would wait longer
+// are tail-dropped, as a real qdisc's finite queue does.
+const maxShapeDelay = 50 * time.Millisecond
+
+// addPathLatency applies the software path's one-way floor plus
+// exponential jitter (§3.2.4: software delays are less predictable),
+// clamped to the direction's FIFO clock so packets of a vport never
+// reorder.
+func (s *Switch) addPathLatency(clock *time.Duration, then func()) {
+	d := s.cm.PathLatency(s.cfg)
+	if s.cm.SoftJitterMean > 0 {
+		d += time.Duration(s.eng.Rand().ExpFloat64() * float64(s.cm.SoftJitterMean))
+	}
+	at := s.eng.Now() + d
+	if at < *clock {
+		at = *clock
+	}
+	*clock = at
+	s.eng.At(at, then)
+}
+
+// transmit encapsulates (when tunneling) and hands the packet to the NIC.
+// Local destination VMs are delivered directly, as a vswitch switches
+// intra-host traffic without touching the wire.
+func (s *Switch) transmit(src *vport, p *packet.Packet) {
+	if dst, ok := s.vports[VMKey{Tenant: p.Tenant, IP: p.IP.Dst}]; ok {
+		s.txPackets++
+		s.deliverLocal(dst, p)
+		return
+	}
+	if s.cfg.Tunneling {
+		m, ok := s.tunnels.Lookup(p.Tenant, p.IP.Dst)
+		if !ok {
+			s.unrouted++
+			return
+		}
+		outer, err := tunnel.VXLANEncap(s.serverIP, m.Remote, p.Tenant, p)
+		if err != nil {
+			s.unrouted++
+			return
+		}
+		s.txPackets++
+		s.uplink.Input(outer)
+		return
+	}
+	s.txPackets++
+	s.uplink.Input(p)
+}
+
+func (s *Switch) deliverLocal(dst *vport, p *packet.Packet) {
+	dst.ingressMeter.Record(p.WireLen())
+	dst.deliver.Input(p)
+}
+
+// InputFromNIC processes a packet arriving on the physical port for this
+// server: VXLAN decap (when tunneling), rule check, ingress shaping, then
+// delivery to the destination VM's VIF.
+func (s *Switch) InputFromNIC(p *packet.Packet) {
+	cost := s.cm.VSwitchUnitCost(p.PayloadLen(), s.cfg)
+	s.exec(cost, func() {
+		inner := p
+		if s.cfg.Tunneling && p.UDP != nil && p.UDP.DstPort == packet.VXLANPort {
+			dec, tenant, err := tunnel.VXLANDecap(p)
+			if err != nil {
+				s.unrouted++
+				return
+			}
+			inner = dec
+			inner.Tenant = tenant
+		}
+		vp, ok := s.vports[VMKey{Tenant: inner.Tenant, IP: inner.IP.Dst}]
+		if !ok {
+			s.unrouted++
+			return
+		}
+		s.classify(inner, func(v fpVerdict) {
+			if !v.allow {
+				s.denied++
+				return
+			}
+			s.shapeIngress(vp, inner, func() {
+				s.addPathLatency(&vp.ingressClock, func() {
+					s.rxPackets++
+					vp.deliver.Input(inner)
+				})
+			})
+		})
+	})
+}
+
+func (s *Switch) shapeIngress(vp *vport, p *packet.Packet, then func()) {
+	bucket := vp.ingress
+	if s.cfg.RateLimitBps > 0 && bucket == nil {
+		vp.ingress = makeBucket(nil, s.eng.Now(), s.cfg.RateLimitBps)
+		bucket = vp.ingress
+	}
+	if bucket == nil {
+		vp.ingressMeter.Record(p.WireLen())
+		then()
+		return
+	}
+	vp.htbExec(s.cm.HTBPerPacket, func() {
+		delay, ok := bucket.ReserveLimit(s.eng.Now(), p.WireLen(), maxShapeDelay)
+		if !ok {
+			s.shapeDrops++
+			return
+		}
+		vp.ingressMeter.Record(p.WireLen())
+		s.eng.After(delay, then)
+	})
+}
+
+// FlowStats snapshots the fast path's per-flow counters — what the local
+// controller's ME polls ("queries the OVS datapath for active flow
+// statistics", §5.2).
+type FlowStats struct {
+	Key     packet.FlowKey
+	Packets uint64
+	Bytes   uint64
+}
+
+// Snapshot returns current per-flow counters.
+func (s *Switch) Snapshot() []FlowStats {
+	out := make([]FlowStats, 0, s.fastpath.Len())
+	s.fastpath.Entries(func(e *rules.ExactEntry[fpVerdict]) {
+		out = append(out, FlowStats{Key: e.Key, Packets: e.Stats.Packets, Bytes: e.Stats.Bytes})
+	})
+	return out
+}
+
+// ExpireIdle evicts fast-path entries idle since before deadline.
+func (s *Switch) ExpireIdle(deadline time.Duration) int { return s.fastpath.Expire(deadline) }
+
+// Counters reports aggregate statistics.
+func (s *Switch) Counters() (tx, rx, upcalls, denied, unrouted uint64) {
+	return s.txPackets, s.rxPackets, s.upcalls, s.denied, s.unrouted
+}
+
+// ShapeDrops reports packets tail-dropped by full htb backlogs.
+func (s *Switch) ShapeDrops() uint64 { return s.shapeDrops }
+
+// ActiveFlows returns the number of fast-path entries.
+func (s *Switch) ActiveFlows() int { return s.fastpath.Len() }

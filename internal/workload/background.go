@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// FileTransfer is an scp-like disk-bound transfer: a sender paces
+// MSS-sized messages at DiskBps (the disk, not the network, is the
+// bottleneck — §6.1.2's "4GB file transfer which is disk bound"), the
+// receiver acknowledges, and the run ends when TotalBytes have been
+// delivered.
+type FileTransfer struct {
+	Sender, Receiver *host.VM
+	Port             uint16
+	// DiskBps is the disk read rate bounding the transfer.
+	DiskBps float64
+	// ChunkSize is the application write size (default MSS-like 1448).
+	ChunkSize int
+	// TotalBytes ends the transfer when delivered (0 = run forever).
+	TotalBytes uint64
+
+	// Delivered counts received payload bytes.
+	Delivered uint64
+	// FinishedAt is when the last byte arrived (0 until done).
+	FinishedAt time.Duration
+
+	eng     *sim.Engine
+	stopped bool
+	srcPort uint16
+}
+
+// Start begins the transfer.
+func (f *FileTransfer) Start(eng *sim.Engine) {
+	f.eng = eng
+	if f.DiskBps <= 0 {
+		f.DiskBps = 400e6 // a 2013-era SATA disk streaming read
+	}
+	if f.ChunkSize <= 0 {
+		f.ChunkSize = 1448
+	}
+	f.srcPort = 44000
+	f.Receiver.BindApp(f.Port, host.AppFunc(func(vm *host.VM, p *packet.Packet) {
+		if f.stopped {
+			return
+		}
+		f.Delivered += uint64(p.PayloadLen())
+		vm.Send(p.IP.Src, f.Port, p.TCP.SrcPort, 0, host.SendOptions{Seq: p.Meta.Seq}, nil)
+		if f.TotalBytes > 0 && f.Delivered >= f.TotalBytes && f.FinishedAt == 0 {
+			f.FinishedAt = eng.Now()
+			f.stopped = true
+		}
+	}))
+	// Disk pacing: one chunk per chunk-time at DiskBps.
+	period := time.Duration(float64(f.ChunkSize) * 8 / f.DiskBps * float64(time.Second))
+	eng.Every(period, func() {
+		if f.stopped {
+			return
+		}
+		f.Sender.Send(f.Receiver.Key.IP, f.srcPort, f.Port, f.ChunkSize, host.SendOptions{}, nil)
+	})
+}
+
+// Stop halts the transfer.
+func (f *FileTransfer) Stop() { f.stopped = true }
+
+// Rate returns the paced packets-per-second of the transfer — the ~135
+// pps signal the FasTrak ME sees for scp in §6.2.1.
+func (f *FileTransfer) Rate() float64 {
+	return f.DiskBps / 8 / float64(f.ChunkSize)
+}
+
+// CPUStress occupies a VM's vCPUs with busy work, the `stress` tool of
+// §6.1.1 ("we also introduced background noise into the VM using the
+// stress tool").
+type CPUStress struct {
+	VM *host.VM
+	// Workers is the number of spinning workers.
+	Workers int
+	// Slice is the busy-work quantum per scheduling round.
+	Slice time.Duration
+
+	stopped bool
+}
+
+// Start begins the load.
+func (s *CPUStress) Start(eng *sim.Engine) {
+	if s.Workers <= 0 {
+		s.Workers = 1
+	}
+	if s.Slice <= 0 {
+		s.Slice = 100 * time.Microsecond
+	}
+	for i := 0; i < s.Workers; i++ {
+		var spin func()
+		spin = func() {
+			if s.stopped {
+				return
+			}
+			s.VM.CPU.Submit(s.Slice, spin)
+		}
+		spin()
+	}
+}
+
+// Stop ends the load.
+func (s *CPUStress) Stop() { s.stopped = true }
+
+// IOZone models the IOzone filesystem benchmark (§6.1.1): sustained
+// disk-bound activity that burns VM CPU in bursts (buffer cache churn)
+// without network traffic.
+type IOZone struct {
+	VM *host.VM
+	// Utilization is the fraction of one vCPU consumed (IOzone is
+	// I/O-bound: default 0.4).
+	Utilization float64
+
+	stopped bool
+}
+
+// Start begins the load.
+func (z *IOZone) Start(eng *sim.Engine) {
+	if z.Utilization <= 0 || z.Utilization > 1 {
+		z.Utilization = 0.4
+	}
+	const round = time.Millisecond
+	busy := time.Duration(float64(round) * z.Utilization)
+	eng.Every(round, func() {
+		if z.stopped {
+			return
+		}
+		z.VM.CPU.Submit(busy, nil)
+	})
+}
+
+// Stop ends the load.
+func (z *IOZone) Stop() { z.stopped = true }
+
+// Iperf is a single long-lived bulk TCP flow (the §6.2.2 migration-trace
+// workload) built on Stream with one thread.
+func Iperf(client, server *host.VM, port uint16) *Stream {
+	return &Stream{Client: client, Server: server, Port: port, Size: 1448, Threads: 1, WindowBytes: 128 << 10}
+}
