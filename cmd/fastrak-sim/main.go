@@ -7,14 +7,26 @@
 //
 //	fastrak-sim [-servers 4] [-tenants 3] [-flows 6] [-tcam 16]
 //	            [-duration 5s] [-epoch 250ms] [-seed 1]
+//	            [-faults <plan>|random] [-fault-seed 1]
+//
+// The -faults flag injects failures while the workload runs: either a
+// plan spec in the internal/faults DSL, e.g.
+//
+//	-faults 'linkflap:uplink1@1s+500ms,period=100ms; tcamreject:tor0@2s+1s'
+//
+// or the literal "random" for a seeded random plan over every registered
+// fault surface (links, control channels, TCAMs, TOR controllers).
+// -fault-seed drives the injector's randomness independently of -seed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"repro"
+	"repro/internal/faults"
 	"repro/internal/host"
 	"repro/internal/packet"
 )
@@ -28,6 +40,8 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "virtual time to simulate")
 	epoch := flag.Duration("epoch", 250*time.Millisecond, "measurement epoch T")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	faultSpec := flag.String("faults", "", "fault plan DSL, or \"random\" for a seeded random plan")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
 	flag.Parse()
 
 	opts := fastrak.Options{
@@ -43,6 +57,31 @@ func main() {
 	d, err := fastrak.NewDeployment(opts)
 	if err != nil {
 		panic(err)
+	}
+
+	// Fault injection: register every surface, then apply the plan.
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		inj = faults.NewInjector(d.Cluster.Eng, *faultSeed)
+		d.Cluster.RegisterFaults(inj)
+		d.Manager.RegisterFaults(inj)
+		var plan faults.Plan
+		if *faultSpec == "random" {
+			links, channels, tables, controllers := inj.Targets()
+			plan = faults.RandomPlan(*faultSeed, *duration*3/4, faults.TargetSet{
+				Links: links, Channels: channels, Tables: tables, Controllers: controllers,
+			})
+		} else {
+			plan, err = faults.ParsePlan(*faultSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fastrak-sim: bad -faults plan: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if err := inj.Apply(plan); err != nil {
+			fmt.Fprintf(os.Stderr, "fastrak-sim: -faults plan: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	// Each tenant gets `flows` services; service i of tenant t runs at
@@ -100,4 +139,25 @@ func main() {
 	}
 	msgs, bytes, samples := d.Manager.ControlStats()
 	fmt.Printf("\ncontrol plane: %d messages, %d bytes, %d datapath samples\n", msgs, bytes, samples)
+
+	if inj != nil {
+		fmt.Println("\nfault log:")
+		for _, line := range inj.Log() {
+			fmt.Println("  ", line)
+		}
+		var retries, giveups, repairs, orphans, crashes uint64
+		for _, tc := range d.Manager.TORCtls {
+			retries += tc.Retries
+			giveups += tc.GiveUps
+			repairs += tc.Repairs
+			orphans += tc.Orphans
+			crashes += tc.Crashes
+		}
+		var dropped uint64
+		for _, tr := range d.Manager.Transports() {
+			dropped += tr.Dropped
+		}
+		fmt.Printf("recovery: %d install retries, %d give-ups, %d reconcile repairs, %d orphan removals, %d controller crashes, %d control messages dropped\n",
+			retries, giveups, repairs, orphans, crashes, dropped)
+	}
 }

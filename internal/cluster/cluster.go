@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/host"
 	"repro/internal/model"
 	"repro/internal/packet"
@@ -51,8 +52,39 @@ type Cluster struct {
 	nextVLAN     packet.VLANID
 	// rackOf maps server index → rack index (empty = all rack 0).
 	rackOf []int
-	// downlinks holds each server's ToR→server link, for tap insertion.
+	// uplinks and downlinks hold each server's access-link pair
+	// (server→ToR, ToR→server) for tap insertion and fault injection.
+	uplinks   []*fabric.Link
 	downlinks []*fabric.Link
+}
+
+// Uplink returns server idx's server→ToR access link (nil if out of
+// range).
+func (c *Cluster) Uplink(idx int) *fabric.Link {
+	if idx < 0 || idx >= len(c.uplinks) {
+		return nil
+	}
+	return c.uplinks[idx]
+}
+
+// Downlink returns server idx's ToR→server access link (nil if out of
+// range).
+func (c *Cluster) Downlink(idx int) *fabric.Link {
+	if idx < 0 || idx >= len(c.downlinks) {
+		return nil
+	}
+	return c.downlinks[idx]
+}
+
+// RegisterFaults names every access link on the injector: "uplink<i>" is
+// server i's server→ToR link, "downlink<i>" the reverse. Control-plane
+// targets are registered separately by the rule manager
+// (core.Manager.RegisterFaults).
+func (c *Cluster) RegisterFaults(inj *faults.Injector) {
+	for i := range c.uplinks {
+		inj.RegisterLink(fmt.Sprintf("uplink%d", i), c.uplinks[i])
+		inj.RegisterLink(fmt.Sprintf("downlink%d", i), c.downlinks[i])
+	}
 }
 
 // TapServer interposes a capture/transform port on the ToR→server link of
@@ -108,6 +140,7 @@ func New(cfg Config) *Cluster {
 		down := fabric.NewLink(eng, cm.LinkBps, cm.PropDelay, q, srv.NIC)
 		c.TOR.AddRoute(ip, fabric.LinkPort{L: down})
 		c.Servers = append(c.Servers, srv)
+		c.uplinks = append(c.uplinks, up)
 		c.downlinks = append(c.downlinks, down)
 	}
 	return c

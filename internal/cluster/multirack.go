@@ -77,6 +77,7 @@ func NewMulti(cfg MultiConfig) *Cluster {
 			c.TORs[rk].AddRoute(ip, fabric.LinkPort{L: down})
 			c.Servers = append(c.Servers, srv)
 			c.rackOf = append(c.rackOf, rk)
+			c.uplinks = append(c.uplinks, up)
 			c.downlinks = append(c.downlinks, down)
 		}
 	}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/openflow"
+	"repro/internal/rules"
+	"repro/internal/tor"
+)
+
+// switchAgent is the ToR switch's management endpoint: it terminates the
+// TOR controller's OpenFlow-style connection and applies rule operations
+// to the hardware tables. Putting a wire protocol between the controller
+// and the TCAM is what makes hardware state *asynchronous* — installs can
+// be rejected (ErrorMsg), messages can be lost on a faulted channel, and
+// the controller only learns the outcome through barrier confirmations
+// and table read-back, exactly the failure surface internal/faults
+// injects.
+type switchAgent struct {
+	tor *tor.TOR
+}
+
+func newSwitchAgent(t *tor.TOR) *switchAgent { return &switchAgent{tor: t} }
+
+// HandleMessage implements openflow.Handler.
+//
+// FlowMod semantics are upsert/delete on the shared TCAM. A FlowAdd for a
+// pattern already installed with identical priority and queue is an
+// idempotent no-op — deliberately so: retries and reconciliation re-assert
+// desired rules without churning the entry (and without a remove+insert
+// window in which an injected install rejection could strand the table
+// with the rule missing).
+func (a *switchAgent) HandleMessage(msg openflow.Message, xid uint32, reply openflow.ReplyFunc) {
+	switch m := msg.(type) {
+	case *openflow.FlowMod:
+		switch m.Command {
+		case openflow.FlowAdd:
+			if err := a.upsert(m); err != nil {
+				code := openflow.ErrCodeRejected
+				if errors.Is(err, rules.ErrTCAMFull) {
+					code = openflow.ErrCodeTableFull
+				}
+				reply(&openflow.ErrorMsg{Code: code}, xid)
+			}
+		case openflow.FlowDelete:
+			a.tor.RemoveACL(m.Pattern)
+		}
+	case *openflow.BarrierRequest:
+		reply(&openflow.BarrierReply{}, xid)
+	case *openflow.TableRequest:
+		reply(a.tableReply(), xid)
+	case openflow.EchoRequest:
+		reply(openflow.EchoReply{}, xid)
+	}
+}
+
+// upsert installs the FlowMod's rule, treating an identical existing
+// entry as success. The QoS queue travels in the FlowMod cookie (the
+// controller's bookkeeping field) so the wire format is unchanged.
+func (a *switchAgent) upsert(m *openflow.FlowMod) error {
+	prio, queue := int(m.Priority), int(m.Cookie)
+	for _, ri := range a.tor.Rules() {
+		if ri.Pattern == m.Pattern && ri.Priority == prio && ri.Queue == queue {
+			return nil
+		}
+	}
+	// Replace any stale variant (different priority/queue) of the
+	// pattern before inserting, so the table never holds duplicates.
+	a.tor.RemoveACL(m.Pattern)
+	return a.tor.InstallACL(&rules.TCAMEntry{
+		Pattern:  m.Pattern,
+		Action:   rules.Allow,
+		Priority: prio,
+		Queue:    queue,
+	})
+}
+
+// tableReply snapshots the installed rules in deterministic order (the
+// TCAM iterates in match order, which is priority-lazy and therefore
+// unstable across identical runs; sorting here keeps the wire bytes — and
+// so the whole simulation — reproducible).
+func (a *switchAgent) tableReply() *openflow.TableReply {
+	ris := a.tor.Rules()
+	sort.Slice(ris, func(i, j int) bool {
+		if ris[i].Priority != ris[j].Priority {
+			return ris[i].Priority > ris[j].Priority
+		}
+		return ris[i].Pattern.String() < ris[j].Pattern.String()
+	})
+	out := make([]openflow.TableRule, len(ris))
+	for i, ri := range ris {
+		out[i] = openflow.TableRule{
+			Pattern:  ri.Pattern,
+			Priority: uint16(ri.Priority),
+			Queue:    uint8(ri.Queue),
+		}
+	}
+	return &openflow.TableReply{Rules: out}
+}

@@ -14,10 +14,12 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/measure"
 	"repro/internal/openflow"
 	"repro/internal/packet"
@@ -49,6 +51,22 @@ type Config struct {
 	// partition-aggregate applications whose flows must be "handled in
 	// hardware, or none at all" (§4.3.2). SetAtomicGroup appends.
 	Groups [][]rules.Pattern
+
+	// RetryBase seeds the exponential backoff between hardware-install
+	// retries (default 4×ControlDelay). Jitter of up to one RetryBase is
+	// drawn from the simulation RNG.
+	RetryBase time.Duration
+	// MaxInstallAttempts caps install (re)sends before the controller
+	// gives up and leaves the flow on the software path (default 5).
+	MaxInstallAttempts int
+	// InstallTimeout bounds waiting for a barrier confirmation before an
+	// install or removal is re-issued (default 8×ControlDelay; must
+	// exceed the control round trip).
+	InstallTimeout time.Duration
+	// DemoteGrace is the minimum delay between demoting a pattern and
+	// removing its hardware ACL, covering placer reprogramming and
+	// express-lane packets already in flight (default 4×ControlDelay).
+	DemoteGrace time.Duration
 }
 
 // DefaultConfig returns the prototype's settings (§5.2) with a fast
@@ -96,13 +114,30 @@ func Attach(c *cluster.Cluster, cfg Config) *Manager {
 	if cfg.HysteresisRatio < 1 {
 		cfg.HysteresisRatio = 1
 	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 4 * cfg.ControlDelay
+	}
+	if cfg.MaxInstallAttempts <= 0 {
+		cfg.MaxInstallAttempts = 5
+	}
+	if cfg.InstallTimeout <= 0 {
+		cfg.InstallTimeout = 8 * cfg.ControlDelay
+	}
+	if cfg.DemoteGrace <= 0 {
+		cfg.DemoteGrace = 4 * cfg.ControlDelay
+	}
 	m := &Manager{
 		Cluster: c,
 		Cfg:     cfg,
 		limits:  make(map[vswitch.VMKey]aggregateLimit),
 	}
 	for _, t := range c.TORs {
-		m.TORCtls = append(m.TORCtls, newTORController(m, t))
+		tc := newTORController(m, t)
+		// Control connection TOR controller ↔ the switch's management
+		// agent: rule installs round-trip real wire encoding and are
+		// only trusted once barrier-confirmed.
+		tc.toSwitch, tc.fromSwitch = openflow.Pair(c.Eng, cfg.ControlDelay, tc, newSwitchAgent(t))
+		m.TORCtls = append(m.TORCtls, tc)
 	}
 	m.TORCtl = m.TORCtls[0]
 	for idx, srv := range c.Servers {
@@ -113,9 +148,27 @@ func Attach(c *cluster.Cluster, cfg Config) *Manager {
 		tc := m.TORCtls[c.RackOf(idx)]
 		toTOR, toLocal := openflow.Pair(c.Eng, cfg.ControlDelay, lc, tc)
 		lc.toTOR = toTOR
+		lc.fromTOR = toLocal
 		tc.toLocals = append(tc.toLocals, toLocal)
+		tc.localIDs = append(tc.localIDs, uint32(srv.ID))
 	}
 	return m
+}
+
+// RegisterFaults names the rule manager's fault surfaces on the injector:
+// channel "local<i>-tor" is server i's control connection to its rack's
+// TOR controller, "torctl<r>-switch" is rack r's controller↔switch-agent
+// connection, table "tor<r>" is rack r's TCAM install path, and
+// controller "torctl<r>" is rack r's crashable TOR controller process.
+func (m *Manager) RegisterFaults(inj *faults.Injector) {
+	for i, lc := range m.Locals {
+		inj.RegisterChannel(fmt.Sprintf("local%d-tor", i), lc.toTOR, lc.fromTOR)
+	}
+	for r, tc := range m.TORCtls {
+		inj.RegisterChannel(fmt.Sprintf("torctl%d-switch", r), tc.toSwitch, tc.fromSwitch)
+		inj.RegisterTable(fmt.Sprintf("tor%d", r), tc.tor)
+		inj.RegisterController(fmt.Sprintf("torctl%d", r), tc)
+	}
 }
 
 // Start begins periodic measurement and decision-making.
@@ -212,6 +265,21 @@ func (m *Manager) OffloadedPatterns() []rules.Pattern {
 	return out
 }
 
+// Transports returns every control-plane transport in the deployment:
+// each local controller's two directions to its TOR controller and each
+// TOR controller's two directions to its switch agent. Useful for
+// summing fault-injected drops.
+func (m *Manager) Transports() []*openflow.Transport {
+	var out []*openflow.Transport
+	for _, lc := range m.Locals {
+		out = append(out, lc.toTOR, lc.fromTOR)
+	}
+	for _, tc := range m.TORCtls {
+		out = append(out, tc.toSwitch, tc.fromSwitch)
+	}
+	return out
+}
+
 // ControlStats reports control-plane work done so far: messages and
 // bytes on all transports, ME samples taken (§6.2.2's controller cost).
 func (m *Manager) ControlStats() (messages, bytes, samples uint64) {
@@ -225,6 +293,18 @@ func (m *Manager) ControlStats() (messages, bytes, samples uint64) {
 			messages += tr.Sent
 			bytes += tr.SentBytes
 		}
+	}
+	return
+}
+
+// SwitchStats reports the hardware-programming channel's work (FlowMods,
+// barriers, table reads and their replies between each TOR controller and
+// its switch agent) — kept separate from ControlStats, whose coordination
+// messages the §6.2.2 overhead accounting covers.
+func (m *Manager) SwitchStats() (messages, bytes uint64) {
+	for _, tc := range m.TORCtls {
+		messages += tc.toSwitch.Sent + tc.fromSwitch.Sent
+		bytes += tc.toSwitch.SentBytes + tc.fromSwitch.SentBytes
 	}
 	return
 }

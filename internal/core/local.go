@@ -21,6 +21,9 @@ type LocalController struct {
 	server *host.Server
 	me     *measure.Engine
 	toTOR  *openflow.Transport
+	// fromTOR is the reverse direction of the control connection, kept
+	// for fault-target registration.
+	fromTOR *openflow.Transport
 
 	// limiters holds per-VM FPS state.
 	limiters map[vswitch.VMKey]*decision.Limiter
@@ -32,6 +35,9 @@ type LocalController struct {
 	// installed tracks placer rules this controller installed, per
 	// pattern, so demotions delete exactly what was added.
 	installed map[rules.Pattern]bool
+	// lastSyncSeq is the highest RuleSync sequence applied; stale
+	// (reordered) syncs are not re-applied but are re-acked.
+	lastSyncSeq uint32
 
 	// FlowMods counts placer programming operations (controller cost).
 	FlowMods uint64
@@ -82,9 +88,40 @@ func (lc *LocalController) HandleMessage(msg openflow.Message, xid uint32, reply
 	switch m := msg.(type) {
 	case *openflow.OffloadDecision:
 		lc.applyDecision(m)
+	case *openflow.RuleSync:
+		lc.applySync(m)
 	case openflow.EchoRequest:
 		reply(openflow.EchoReply{}, xid)
 	}
+}
+
+// applySync reconciles the placer programming against the TOR's full
+// desired offload set and acknowledges it. The ack is what un-gates ACL
+// removal at the TOR: by acking, this server asserts none of its placers
+// still steer flows excluded from the set through the express lane.
+func (lc *LocalController) applySync(m *openflow.RuleSync) {
+	if m.Seq >= lc.lastSyncSeq {
+		desired := make(map[rules.Pattern]bool, len(m.Patterns))
+		for _, p := range m.Patterns {
+			desired[p] = true
+			if !lc.installed[p] {
+				lc.installPlacement(p)
+			}
+		}
+		// Deterministic sweep of placements no longer desired.
+		extra := make([]rules.Pattern, 0)
+		for p := range lc.installed {
+			if !desired[p] {
+				extra = append(extra, p)
+			}
+		}
+		sort.Slice(extra, func(i, j int) bool { return extra[i].String() < extra[j].String() })
+		for _, p := range extra {
+			lc.removePlacement(p)
+		}
+		lc.lastSyncSeq = m.Seq
+	}
+	lc.toTOR.Send(&openflow.SyncAck{ServerID: uint32(lc.server.ID), Seq: lc.lastSyncSeq})
 }
 
 // applyDecision programs flow placers and recomputes rate splits.

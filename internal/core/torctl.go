@@ -14,18 +14,110 @@ import (
 	"repro/internal/vswitch"
 )
 
+// hwPriority is the TCAM priority of controller-installed offload ACLs.
+// Reconciliation and restart-time adoption recognise the controller's own
+// rules by it.
+const hwPriority = 100
+
+// syncRefreshTicks and reconcileTicks pace the anti-entropy machinery:
+// a full RuleSync goes to every local, and a TableRequest to the switch
+// agent, at least once per this many decision intervals (more often when
+// state changes). Keeping them off the per-tick hot path preserves the
+// paper's "negligible" controller overhead (§6.2.2).
+const (
+	syncRefreshTicks = 4
+	reconcileTicks   = 4
+)
+
+// installState tracks one in-flight hardware install: the FlowMod has
+// been sent to the switch agent but the barrier confirming it has not
+// come back. Placers are NOT redirected until confirmation — an express
+// lane is announced only once the hardware acknowledged the ACL, so a
+// rejected or lost install can never blackhole packets.
+type installState struct {
+	attempts int
+	queue    int
+	failed   bool
+	flowXID  uint32
+	barXID   uint32
+	timer    *sim.Event
+}
+
+// removeState tracks one demoted pattern whose ACL is still installed.
+// The ACL is removed only after (a) every local controller has acked a
+// RuleSync that excludes the pattern — so all placers have redirected the
+// flow back to the software path — and (b) a grace period has passed for
+// express-lane packets already in flight.
+type removeState struct {
+	// needSeq is the first RuleSync sequence excluding the pattern;
+	// every local must ack ≥ needSeq before the ACL may go.
+	needSeq uint32
+	// readyAt is the in-flight grace deadline.
+	readyAt sim.Time
+	// orphan marks rules found in hardware but owned by nobody
+	// (remnants of a crash or a lost delete); they skip announcement.
+	orphan     bool
+	deleteSent bool
+	timer      *sim.Event
+}
+
 // TORController manages one ToR switch (§4.3): its ME polls offloaded-
 // flow counters in hardware, its DE merges them with the local
 // controllers' demand reports, picks the offload set within the TCAM
 // budget, installs/removes the hardware rules, and distributes decisions.
+//
+// Hardware state is managed asynchronously through the switch agent's
+// control connection (internal/faults can drop, delay or sever it, and
+// the hardware can reject installs):
+//
+//   - installs are barrier-confirmed and retried with exponential backoff
+//     before the controller degrades the flow to the software path;
+//   - removals are gated on every local controller acknowledging a
+//     RuleSync that excludes the pattern, plus an in-flight grace;
+//   - a per-interval TableRequest reconciles desired against reported
+//     hardware state, repairing divergence in both directions;
+//   - Crash/Restart model controller failure: all volatile state is lost
+//     and the restarted controller adopts the hardware's installed rules
+//     as its desired set (removing them blind would blackhole flows whose
+//     placers still steer to the express lane).
 type TORController struct {
 	mgr      *Manager
 	tor      *tor.TOR
 	toLocals []*openflow.Transport
+	// localIDs are the rack's server IDs, for counting RuleSync acks.
+	localIDs []uint32
+	// toSwitch/fromSwitch is the control connection to the switch agent.
+	toSwitch   *openflow.Transport
+	fromSwitch *openflow.Transport
 
 	reports map[uint32]openflow.DemandReport
 
+	// offloaded holds barrier-confirmed hardware patterns — the set
+	// announced to placers.
 	offloaded map[rules.Pattern]bool
+	// installing holds patterns sent to hardware but not yet confirmed.
+	installing map[rules.Pattern]*installState
+	// removing holds demoted patterns whose ACL removal is still gated.
+	removing map[rules.Pattern]*removeState
+
+	// pendingBarrier maps a BarrierRequest xid to its continuation.
+	pendingBarrier map[uint32]func()
+	// pendingInstall maps a FlowMod xid to its pattern so an ErrorMsg
+	// (echoing that xid) marks the attempt failed.
+	pendingInstall map[uint32]rules.Pattern
+
+	// syncSeq numbers RuleSyncs; ackedSeq records each server's latest
+	// ack. syncSeq survives Crash (a restarted controller must not
+	// reuse sequence numbers locals already acked).
+	syncSeq  uint32
+	ackedSeq map[uint32]uint32
+	// lastPublished is the desired set of the latest RuleSync;
+	// sincePublish counts ticks since. Syncs go out on change or every
+	// syncRefreshTicks as anti-entropy (§6.2.2 keeps steady-state
+	// control traffic to a few messages per interval).
+	lastPublished []rules.Pattern
+	sincePublish  int
+
 	// prevHW holds last interval's TCAM counters for pps computation.
 	prevHW   map[rules.Pattern]uint64
 	prevHWAt sim.Time
@@ -33,28 +125,52 @@ type TORController struct {
 	// installedHW tracks hardware rate limits currently installed, for
 	// maxed-out detection.
 	installedHW map[vswitch.VMKey]openflow.RateSplit
-	// pendingRemove holds scheduled ACL removals for demoted patterns:
-	// the hardware rule outlives the placer redirect so in-flight
-	// express-lane packets are not blackholed (§4.1.2 orders pull-backs
-	// the same way: software first, then hardware).
-	pendingRemove map[rules.Pattern]*sim.Event
+
+	// pendingAnnounce batches offload/demote announcements accumulated
+	// within one event window (e.g. many installs confirmed by barriers
+	// carried on the same control RTT) into a single OffloadDecision
+	// per local, keeping controller chatter at "a handful of messages
+	// per interval" (§6.2.2).
+	pendingAnnounce []openflow.OffloadAction
+	announceQueued  bool
 
 	ticker  *sim.Ticker
 	stopped bool
+	crashed bool
 
-	// Decisions counts DE runs (controller-cost experiment).
+	// Decisions counts DE runs (controller-cost experiment). The
+	// remaining counters instrument the recovery machinery.
 	Decisions uint64
+	// Installs counts barrier-confirmed hardware installs.
+	Installs uint64
+	// Retries counts install re-sends after a rejection or timeout.
+	Retries uint64
+	// GiveUps counts installs abandoned after MaxInstallAttempts — the
+	// flow stays on the software path (graceful degradation).
+	GiveUps uint64
+	// Repairs counts desired rules reconciliation found missing from
+	// hardware and re-asserted.
+	Repairs uint64
+	// Orphans counts hardware rules reconciliation found unowned and
+	// removed.
+	Orphans uint64
+	// Crashes counts Crash() invocations.
+	Crashes uint64
 }
 
 func newTORController(m *Manager, t *tor.TOR) *TORController {
 	return &TORController{
-		mgr:           m,
-		tor:           t,
-		reports:       make(map[uint32]openflow.DemandReport),
-		offloaded:     make(map[rules.Pattern]bool),
-		prevHW:        make(map[rules.Pattern]uint64),
-		installedHW:   make(map[vswitch.VMKey]openflow.RateSplit),
-		pendingRemove: make(map[rules.Pattern]*sim.Event),
+		mgr:            m,
+		tor:            t,
+		reports:        make(map[uint32]openflow.DemandReport),
+		offloaded:      make(map[rules.Pattern]bool),
+		installing:     make(map[rules.Pattern]*installState),
+		removing:       make(map[rules.Pattern]*removeState),
+		pendingBarrier: make(map[uint32]func()),
+		pendingInstall: make(map[uint32]rules.Pattern),
+		ackedSeq:       make(map[uint32]uint32),
+		prevHW:         make(map[rules.Pattern]uint64),
+		installedHW:    make(map[vswitch.VMKey]openflow.RateSplit),
 	}
 }
 
@@ -70,7 +186,7 @@ func (tc *TORController) start() {
 	offset := tc.mgr.Cfg.Measure.SampleGap + 4*tc.mgr.Cfg.ControlDelay + time.Millisecond
 	eng := tc.mgr.Cluster.Eng
 	eng.After(offset, func() {
-		if tc.stopped {
+		if tc.stopped || tc.crashed {
 			return
 		}
 		tc.ticker = eng.Every(tc.controlInterval(), tc.tick)
@@ -84,8 +200,81 @@ func (tc *TORController) stop() {
 	}
 }
 
-// HandleMessage implements openflow.Handler for local → TOR messages.
+// Crash models the controller process dying (faults.ControllerCrash):
+// the decision ticker stops, every piece of volatile state — demand
+// reports, in-flight installs and removals, pending confirmations, the
+// desired offload set itself — is lost, and control messages arriving
+// while down are dropped. Hardware keeps forwarding with the rules it
+// has; placers keep their last programming. Implements faults.Controller.
+func (tc *TORController) Crash() {
+	if tc.crashed {
+		return
+	}
+	tc.crashed = true
+	tc.Crashes++
+	if tc.ticker != nil {
+		tc.ticker.Stop()
+		tc.ticker = nil
+	}
+	for _, st := range tc.installing {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+	}
+	for _, st := range tc.removing {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+	}
+	tc.reports = make(map[uint32]openflow.DemandReport)
+	tc.offloaded = make(map[rules.Pattern]bool)
+	tc.installing = make(map[rules.Pattern]*installState)
+	tc.removing = make(map[rules.Pattern]*removeState)
+	tc.pendingBarrier = make(map[uint32]func())
+	tc.pendingInstall = make(map[uint32]rules.Pattern)
+	tc.ackedSeq = make(map[uint32]uint32)
+	tc.prevHW = make(map[rules.Pattern]uint64)
+	tc.installedHW = make(map[vswitch.VMKey]openflow.RateSplit)
+	tc.pendingAnnounce = nil
+	tc.lastPublished = nil
+	tc.sincePublish = 0
+}
+
+// Restart brings a crashed controller back. It adopts the hardware's
+// installed offload rules (the boot-time table dump) as its desired set:
+// placers may still be steering those flows through the express lane, so
+// starting from an empty desired set — and reconciling the "extra"
+// hardware rules away — would blackhole them. Adopted rules re-enter the
+// normal decision process and are demoted cleanly if no longer worth a
+// TCAM slot. Implements faults.Controller.
+func (tc *TORController) Restart() {
+	if !tc.crashed {
+		return
+	}
+	tc.crashed = false
+	for _, ri := range tc.tor.Rules() {
+		if ri.Priority == hwPriority {
+			tc.offloaded[ri.Pattern] = true
+		}
+	}
+	// Re-seed counter baselines so the first post-restart interval does
+	// not see the whole uptime's packets as one delta.
+	for _, st := range tc.tor.Stats() {
+		tc.prevHW[st.Pattern] = st.Packets
+	}
+	tc.prevHWAt = tc.mgr.Cluster.Eng.Now()
+	if tc.mgr.started && !tc.stopped {
+		tc.start()
+	}
+}
+
+// HandleMessage implements openflow.Handler for messages from local
+// controllers (DemandReport, SyncAck) and from the switch agent
+// (BarrierReply, ErrorMsg, TableReply).
 func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply openflow.ReplyFunc) {
+	if tc.crashed {
+		return // process is down; messages are lost
+	}
 	switch m := msg.(type) {
 	case *openflow.DemandReport:
 		if cur, ok := tc.reports[m.ServerID]; ok && cur.Interval == m.Interval {
@@ -96,6 +285,25 @@ func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply o
 			tc.reports[m.ServerID] = *m
 		}
 		tc.applySplits(m.Splits)
+	case *openflow.SyncAck:
+		if m.Seq > tc.ackedSeq[m.ServerID] {
+			tc.ackedSeq[m.ServerID] = m.Seq
+		}
+		tc.tryRemovals()
+	case *openflow.BarrierReply:
+		if fn, ok := tc.pendingBarrier[xid]; ok {
+			delete(tc.pendingBarrier, xid)
+			fn()
+		}
+	case *openflow.ErrorMsg:
+		if p, ok := tc.pendingInstall[xid]; ok {
+			delete(tc.pendingInstall, xid)
+			if st := tc.installing[p]; st != nil && st.flowXID == xid {
+				st.failed = true
+			}
+		}
+	case *openflow.TableReply:
+		tc.reconcile(m)
 	case openflow.EchoRequest:
 		reply(openflow.EchoReply{}, xid)
 	}
@@ -111,9 +319,10 @@ func (tc *TORController) applySplits(splits []openflow.RateSplit) {
 	}
 }
 
-// tick is one DE run: measure hardware flows, decide, apply, distribute.
+// tick is one DE run: measure hardware flows, decide, apply, distribute,
+// reconcile.
 func (tc *TORController) tick() {
-	if tc.stopped {
+	if tc.stopped || tc.crashed {
 		return
 	}
 	tc.Decisions++
@@ -136,7 +345,8 @@ func (tc *TORController) tick() {
 	}
 	tc.prevHWAt = eng.Now()
 
-	// Budget: free TCAM space plus what offloaded entries would free.
+	// Budget: free TCAM space plus what confirmed offloads would free.
+	// In-flight installs hold their slot conservatively.
 	budget := tc.tor.TCAMFree() + len(tc.offloaded)
 	if tc.mgr.Cfg.MaxOffloads > 0 && budget > tc.mgr.Cfg.MaxOffloads {
 		budget = tc.mgr.Cfg.MaxOffloads
@@ -152,26 +362,41 @@ func (tc *TORController) tick() {
 		reports = append(reports, tc.reports[id])
 	}
 
+	// Decisions are made against the union of confirmed and in-flight
+	// installs so an install awaiting its barrier is neither re-proposed
+	// nor silently double-counted.
+	current := make(map[rules.Pattern]bool, len(tc.offloaded)+len(tc.installing))
+	for p := range tc.offloaded {
+		current[p] = true
+	}
+	for p := range tc.installing {
+		current[p] = true
+	}
+
 	cands := decision.CandidatesFromReports(reports, hwPPS, tc.mgr.Cfg.PriorityOf)
 	d := decision.Decide(decision.Config{
 		Budget:          budget,
 		MinScore:        tc.mgr.Cfg.MinScore,
 		HysteresisRatio: tc.mgr.Cfg.HysteresisRatio,
 		Groups:          tc.mgr.Cfg.Groups,
-	}, cands, tc.offloaded)
+	}, cands, current)
 
 	var actions []openflow.OffloadAction
 	for _, p := range d.Demote {
-		tc.removeHW(p)
-		actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: false})
+		if tc.offloaded[p] {
+			tc.beginRemove(p)
+			actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: false})
+		} else if tc.installing[p] != nil {
+			tc.abortInstall(p)
+		}
 	}
 	for _, p := range d.Offload {
-		if tc.offloaded[p] {
-			continue // already in hardware
+		if tc.offloaded[p] || tc.installing[p] != nil {
+			continue // already in hardware or on its way
 		}
-		if tc.installHW(p) {
-			actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: true})
-		}
+		// No action is announced here: placers redirect to the express
+		// lane only after the hardware confirms the install.
+		tc.startInstall(p)
 	}
 
 	dec := &openflow.OffloadDecision{
@@ -182,57 +407,370 @@ func (tc *TORController) tick() {
 	for _, tr := range tc.toLocals {
 		tr.Send(dec)
 	}
+	tc.maybePublish()
+
+	// Anti-entropy: periodically read back the hardware table and
+	// reconcile on reply.
+	if tc.Decisions%reconcileTicks == 0 {
+		tc.toSwitch.Send(&openflow.TableRequest{})
+	}
 }
 
-// installHW constructs the most specific rule defining the policy for the
-// offloaded pattern and places it in the TCAM (§4.3). The verdict and QoS
-// queue come from the owning VM's rule set — the controllers "are aware
-// of all rules (and their priorities, in the case of conflicts)
-// associated with the VMs they control".
-func (tc *TORController) installHW(p rules.Pattern) bool {
+// maybePublish sends a RuleSync when the desired set changed since the
+// last one, or as a periodic refresh (covering lost syncs and acks).
+func (tc *TORController) maybePublish() {
+	tc.sincePublish++
+	desired := tc.offloadedList()
+	if tc.sincePublish < syncRefreshTicks && patternsEqual(desired, tc.lastPublished) {
+		return
+	}
+	tc.publishSet(desired)
+}
+
+// publish sends the full desired offload set (confirmed patterns only) to
+// every local controller. Locals ack with the sequence number; removals
+// gate on those acks.
+func (tc *TORController) publish() { tc.publishSet(tc.offloadedList()) }
+
+func (tc *TORController) publishSet(desired []rules.Pattern) {
+	tc.syncSeq++
+	tc.lastPublished = desired
+	tc.sincePublish = 0
+	sync := &openflow.RuleSync{Seq: tc.syncSeq, Patterns: desired}
+	for _, tr := range tc.toLocals {
+		tr.Send(sync)
+	}
+}
+
+func patternsEqual(a, b []rules.Pattern) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- install path ----
+
+func (tc *TORController) retryBase() time.Duration      { return tc.mgr.Cfg.RetryBase }
+func (tc *TORController) installTimeout() time.Duration { return tc.mgr.Cfg.InstallTimeout }
+func (tc *TORController) demoteGrace() time.Duration    { return tc.mgr.Cfg.DemoteGrace }
+
+// backoff returns the delay before attempt n+1: exponential in the number
+// of attempts already made, capped, with seeded jitter so many
+// controllers retrying after one fault don't synchronise.
+func (tc *TORController) backoff(attempts int) time.Duration {
+	base := tc.retryBase()
+	d := base << uint(attempts-1)
+	if max := 32 * base; d > max {
+		d = max
+	}
+	jitter := time.Duration(tc.mgr.Cluster.Eng.Rand().Int63n(int64(base)))
+	return d + jitter
+}
+
+// startInstall begins the confirm-then-announce install sequence for a
+// pattern the DE selected.
+func (tc *TORController) startInstall(p rules.Pattern) {
 	action, queue := tc.policyFor(p)
 	if action != rules.Allow {
 		// Denied traffic gains nothing from hardware offload; the
 		// vswitch (or ToR default rule) already drops it.
-		return false
-	}
-	if ev, ok := tc.pendingRemove[p]; ok {
-		// Re-offloaded before the demotion's ACL removal fired: keep
-		// the existing hardware rule.
-		ev.Cancel()
-		delete(tc.pendingRemove, p)
-		tc.offloaded[p] = true
-		return true
-	}
-	err := tc.tor.InstallACL(&rules.TCAMEntry{
-		Pattern:  p,
-		Action:   rules.Allow,
-		Priority: 100,
-		Queue:    queue,
-	})
-	if err != nil {
-		return false
-	}
-	tc.offloaded[p] = true
-	return true
-}
-
-// removeHW demotes a pattern: it leaves the unified set's hardware side
-// immediately (so budgets and decisions see the slot as free) but the ACL
-// itself is removed only after the placer redirects have landed, keeping
-// in-flight express-lane packets deliverable.
-func (tc *TORController) removeHW(p rules.Pattern) {
-	delete(tc.offloaded, p)
-	delete(tc.prevHW, p)
-	if _, ok := tc.pendingRemove[p]; ok {
 		return
 	}
-	grace := 4 * tc.mgr.Cfg.ControlDelay
-	tc.pendingRemove[p] = tc.mgr.Cluster.Eng.After(grace, func() {
-		delete(tc.pendingRemove, p)
-		tc.tor.RemoveACL(p)
+	if st, ok := tc.removing[p]; ok {
+		// Re-offloaded while a demotion was still draining: supersede
+		// the removal. If its FlowDelete is already on the wire the
+		// FIFO channel guarantees the fresh FlowAdd lands after it.
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+		delete(tc.removing, p)
+	}
+	st := &installState{queue: queue}
+	tc.installing[p] = st
+	tc.sendInstall(p, st)
+}
+
+// sendInstall (re)issues the FlowMod + barrier for one attempt.
+func (tc *TORController) sendInstall(p rules.Pattern, st *installState) {
+	st.attempts++
+	st.failed = false
+	delete(tc.pendingInstall, st.flowXID)
+	delete(tc.pendingBarrier, st.barXID)
+	if st.timer != nil {
+		st.timer.Cancel()
+	}
+	// The QoS queue rides in the cookie (controller bookkeeping field).
+	mod := &openflow.FlowMod{Command: openflow.FlowAdd, Pattern: p, Priority: hwPriority, Cookie: uint64(st.queue)}
+	st.flowXID = tc.toSwitch.Send(mod)
+	tc.pendingInstall[st.flowXID] = p
+	st.barXID = tc.toSwitch.Send(&openflow.BarrierRequest{})
+	tc.pendingBarrier[st.barXID] = func() { tc.installConfirmed(p, st) }
+	st.timer = tc.mgr.Cluster.Eng.After(tc.installTimeout(), func() {
+		// Barrier reply lost or very late: retry (the agent's upsert is
+		// idempotent, so a duplicate FlowAdd is harmless).
+		if tc.installing[p] == st && !tc.crashed {
+			tc.installRetry(p, st)
+		}
 	})
 }
+
+// installConfirmed runs when the install's barrier comes back: either the
+// hardware accepted the rule (announce the express lane) or an ErrorMsg
+// preceded the barrier (retry or degrade).
+func (tc *TORController) installConfirmed(p rules.Pattern, st *installState) {
+	if tc.installing[p] != st {
+		return // superseded
+	}
+	if st.failed {
+		tc.installRetry(p, st)
+		return
+	}
+	if st.timer != nil {
+		st.timer.Cancel()
+	}
+	delete(tc.pendingInstall, st.flowXID)
+	delete(tc.installing, p)
+	tc.offloaded[p] = true
+	tc.Installs++
+	// Hardware state acknowledged — now, and only now, redirect placers.
+	tc.announce(openflow.OffloadAction{Pattern: p, Offload: true})
+}
+
+// announce queues one action and flushes the batch at the end of the
+// current event window (CallSoon runs after every already-scheduled event
+// at this instant, so all barriers confirmed on one RTT coalesce).
+func (tc *TORController) announce(a openflow.OffloadAction) {
+	tc.pendingAnnounce = append(tc.pendingAnnounce, a)
+	if tc.announceQueued {
+		return
+	}
+	tc.announceQueued = true
+	tc.mgr.Cluster.Eng.CallSoon(func() {
+		tc.announceQueued = false
+		acts := tc.pendingAnnounce
+		tc.pendingAnnounce = nil
+		if tc.crashed || len(acts) == 0 {
+			return
+		}
+		sort.Slice(acts, func(i, j int) bool {
+			return acts[i].Pattern.String() < acts[j].Pattern.String()
+		})
+		dec := &openflow.OffloadDecision{Actions: acts}
+		for _, tr := range tc.toLocals {
+			tr.Send(dec)
+		}
+	})
+}
+
+// installRetry backs off and re-sends, or gives up after the attempt
+// budget: the flow simply stays on the software path (no blackhole, rate
+// caps still enforced by the VIF limiter) and the DE may try again in a
+// later interval.
+func (tc *TORController) installRetry(p rules.Pattern, st *installState) {
+	delete(tc.pendingInstall, st.flowXID)
+	delete(tc.pendingBarrier, st.barXID)
+	if st.timer != nil {
+		st.timer.Cancel()
+	}
+	if st.attempts >= tc.mgr.Cfg.MaxInstallAttempts {
+		delete(tc.installing, p)
+		tc.GiveUps++
+		return
+	}
+	tc.Retries++
+	st.timer = tc.mgr.Cluster.Eng.After(tc.backoff(st.attempts), func() {
+		if tc.installing[p] == st && !tc.crashed {
+			tc.sendInstall(p, st)
+		}
+	})
+}
+
+// abortInstall cancels an unconfirmed install (decision changed before
+// the barrier returned). Nothing was announced, so no placer redirects
+// exist; the best-effort delete below cleans hardware, and reconciliation
+// sweeps the rule as an orphan if the delete is lost.
+func (tc *TORController) abortInstall(p rules.Pattern) {
+	st := tc.installing[p]
+	if st == nil {
+		return
+	}
+	if st.timer != nil {
+		st.timer.Cancel()
+	}
+	delete(tc.pendingInstall, st.flowXID)
+	delete(tc.pendingBarrier, st.barXID)
+	delete(tc.installing, p)
+	tc.toSwitch.Send(&openflow.FlowMod{Command: openflow.FlowDelete, Pattern: p})
+}
+
+// ---- remove path ----
+
+// beginRemove demotes a confirmed pattern: it leaves the unified set's
+// hardware side immediately (budgets and decisions see the slot as free,
+// placers are told to fall back to software) but the ACL itself is
+// removed only once every local acks a RuleSync excluding the pattern and
+// the in-flight grace passes — §4.1.2 orders pull-backs the same way:
+// software first, then hardware.
+func (tc *TORController) beginRemove(p rules.Pattern) {
+	delete(tc.offloaded, p)
+	delete(tc.prevHW, p)
+	if _, ok := tc.removing[p]; ok {
+		return
+	}
+	eng := tc.mgr.Cluster.Eng
+	st := &removeState{
+		// The caller publishes a RuleSync (excluding p) in this same
+		// event; it will carry syncSeq+1.
+		needSeq: tc.syncSeq + 1,
+		readyAt: eng.Now() + tc.demoteGrace(),
+	}
+	tc.removing[p] = st
+	eng.After(tc.demoteGrace(), tc.tryRemovals)
+}
+
+// beginOrphanRemove schedules removal of a hardware rule nobody owns.
+// Orphans are excluded from every RuleSync by construction, so gating on
+// the current sequence plus grace guarantees placers (which only steer
+// per announced state) are off the rule before it goes.
+func (tc *TORController) beginOrphanRemove(p rules.Pattern) {
+	if _, ok := tc.removing[p]; ok {
+		return
+	}
+	eng := tc.mgr.Cluster.Eng
+	st := &removeState{
+		needSeq: tc.syncSeq,
+		readyAt: eng.Now() + tc.demoteGrace(),
+		orphan:  true,
+	}
+	tc.removing[p] = st
+	tc.Orphans++
+	eng.After(tc.demoteGrace(), tc.tryRemovals)
+}
+
+// minAckedSeq is the lowest RuleSync sequence any local has confirmed.
+func (tc *TORController) minAckedSeq() uint32 {
+	min := ^uint32(0)
+	for _, id := range tc.localIDs {
+		if a := tc.ackedSeq[id]; a < min {
+			min = a
+		}
+	}
+	if len(tc.localIDs) == 0 {
+		return ^uint32(0)
+	}
+	return min
+}
+
+// tryRemovals issues FlowDeletes for every gated removal whose conditions
+// are now met. Called on ack receipt and on grace expiry.
+func (tc *TORController) tryRemovals() {
+	if tc.crashed || len(tc.removing) == 0 {
+		return
+	}
+	ps := make([]rules.Pattern, 0, len(tc.removing))
+	for p := range tc.removing {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].String() < ps[j].String() })
+	min := tc.minAckedSeq()
+	now := tc.mgr.Cluster.Eng.Now()
+	for _, p := range ps {
+		st := tc.removing[p]
+		if st.deleteSent || now < st.readyAt || min < st.needSeq {
+			continue
+		}
+		tc.sendDelete(p, st)
+	}
+}
+
+// sendDelete issues the barrier-confirmed ACL removal; a lost
+// confirmation re-arms the removal after a timeout.
+func (tc *TORController) sendDelete(p rules.Pattern, st *removeState) {
+	st.deleteSent = true
+	tc.toSwitch.Send(&openflow.FlowMod{Command: openflow.FlowDelete, Pattern: p})
+	bx := tc.toSwitch.Send(&openflow.BarrierRequest{})
+	tc.pendingBarrier[bx] = func() {
+		if tc.removing[p] == st {
+			if st.timer != nil {
+				st.timer.Cancel()
+			}
+			delete(tc.removing, p)
+		}
+	}
+	st.timer = tc.mgr.Cluster.Eng.After(tc.installTimeout(), func() {
+		if tc.removing[p] == st && st.deleteSent && !tc.crashed {
+			st.deleteSent = false
+			delete(tc.pendingBarrier, bx)
+			tc.tryRemovals()
+		}
+	})
+}
+
+// ---- reconciliation ----
+
+// reconcile compares the agent's reported hardware table against the
+// controller's desired state and repairs divergence in both directions:
+//
+//   - a desired pattern missing from hardware is immediately degraded to
+//     the software path (placers redirected — express-lane packets would
+//     otherwise hit the default-deny TCAM) and re-installed through the
+//     normal confirm-then-announce sequence;
+//   - a reported rule nobody owns (crash remnant, lost delete) is swept
+//     through the gated removal path.
+//
+// The snapshot is one control delay old; a pattern confirmed after the
+// snapshot was taken is in `installing` or was just announced, and both
+// sets are excluded from the orphan sweep, so a healthy FIFO channel
+// never yields a false repair. Under injected delay faults reordering can
+// produce a false positive — the cost is a spell on the software path,
+// never a blackhole.
+func (tc *TORController) reconcile(rep *openflow.TableReply) {
+	reported := make(map[rules.Pattern]bool, len(rep.Rules))
+	for _, r := range rep.Rules {
+		if int(r.Priority) == hwPriority {
+			reported[r.Pattern] = true
+		}
+	}
+
+	var lost []rules.Pattern
+	for p := range tc.offloaded {
+		if !reported[p] {
+			lost = append(lost, p)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].String() < lost[j].String() })
+	for _, p := range lost {
+		delete(tc.offloaded, p)
+		delete(tc.prevHW, p)
+		tc.Repairs++
+		tc.announce(openflow.OffloadAction{Pattern: p, Offload: false})
+		tc.startInstall(p)
+	}
+	if len(lost) > 0 {
+		tc.publish()
+	}
+
+	var orphans []rules.Pattern
+	for p := range reported {
+		if !tc.offloaded[p] && tc.installing[p] == nil {
+			if _, rem := tc.removing[p]; !rem {
+				orphans = append(orphans, p)
+			}
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].String() < orphans[j].String() })
+	for _, p := range orphans {
+		tc.beginOrphanRemove(p)
+	}
+}
+
+// ---- policy ----
 
 // policyFor evaluates the tenant policy covering the pattern against
 // every rule-bearing VM the pattern's flows could touch: the pinned
@@ -328,28 +866,47 @@ func (tc *TORController) hwRates() []openflow.VMRate {
 // migration step of §4.1.2 ("any offloaded flows must be returned back to
 // the VM's hypervisor before the migration can occur").
 func (tc *TORController) demoteVM(tenant packet.TenantID, vmIP packet.IP) {
+	if tc.crashed {
+		return
+	}
+	touches := func(p rules.Pattern) bool {
+		if p.Tenant != tenant {
+			return false
+		}
+		return (p.SrcPrefix == 32 && p.Src == vmIP) || (p.DstPrefix == 32 && p.Dst == vmIP)
+	}
 	var actions []openflow.OffloadAction
 	for p := range tc.offloaded {
-		if p.Tenant != tenant {
-			continue
+		if touches(p) {
+			actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: false})
 		}
-		touches := (p.SrcPrefix == 32 && p.Src == vmIP) || (p.DstPrefix == 32 && p.Dst == vmIP)
-		if !touches {
-			continue
-		}
-		tc.removeHW(p)
-		actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: false})
 	}
-	if len(actions) == 0 {
+	var aborts []rules.Pattern
+	for p := range tc.installing {
+		if touches(p) {
+			aborts = append(aborts, p)
+		}
+	}
+	if len(actions) == 0 && len(aborts) == 0 {
 		return
 	}
 	sort.Slice(actions, func(i, j int) bool {
 		return actions[i].Pattern.String() < actions[j].Pattern.String()
 	})
-	dec := &openflow.OffloadDecision{Actions: actions}
-	for _, tr := range tc.toLocals {
-		tr.Send(dec)
+	sort.Slice(aborts, func(i, j int) bool { return aborts[i].String() < aborts[j].String() })
+	for _, a := range actions {
+		tc.beginRemove(a.Pattern)
 	}
+	for _, p := range aborts {
+		tc.abortInstall(p)
+	}
+	if len(actions) > 0 {
+		dec := &openflow.OffloadDecision{Actions: actions}
+		for _, tr := range tc.toLocals {
+			tr.Send(dec)
+		}
+	}
+	tc.publish()
 }
 
 // LatestReports returns the most recent demand report from each server —
@@ -367,7 +924,7 @@ func (tc *TORController) LatestReports() []openflow.DemandReport {
 	return out
 }
 
-// offloadedList returns current hardware patterns, sorted.
+// offloadedList returns current confirmed hardware patterns, sorted.
 func (tc *TORController) offloadedList() []rules.Pattern {
 	out := make([]rules.Pattern, 0, len(tc.offloaded))
 	for p := range tc.offloaded {

@@ -7,6 +7,7 @@
 package fabric
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/packet"
@@ -85,6 +86,15 @@ func (f *FIFO) Drops() uint64 { return f.drops }
 // Link is a unidirectional store-and-forward wire: packets are queued,
 // serialized at the line rate, then delivered after propagation delay.
 // Bidirectional connections are two Links.
+//
+// Concurrency contract: a Link belongs to its sim.Engine's single-threaded
+// event loop. All mutation — Send, SetDst, SetDown, SetLoss — must happen
+// at event boundaries: inside engine callbacks or before/after Run. Never
+// call them from a raw goroutine. Within that contract, mutating the link
+// while its transmit pump is active is safe: the destination and down
+// state are read at delivery time (late-bound), not captured when the
+// packet was queued, so rewiring or failing a busy link affects exactly
+// the packets still in flight and nothing is delivered to a stale target.
 type Link struct {
 	eng   *sim.Engine
 	bps   float64
@@ -96,6 +106,14 @@ type Link struct {
 	txBytes  uint64
 	txPkts   uint64
 	dropPkts uint64
+
+	// Fault-injection state (internal/faults drives these through the
+	// faults.Link interface).
+	down      bool
+	lossProb  float64
+	lossRng   *rand.Rand
+	downDrops uint64
+	lossDrops uint64
 }
 
 // NewLink builds a link to dst. queue may be nil for a default FIFO.
@@ -109,22 +127,64 @@ func NewLink(eng *sim.Engine, bps float64, prop time.Duration, queue Queue, dst 
 	return &Link{eng: eng, bps: bps, prop: prop, queue: queue, dst: dst}
 }
 
-// SetDst rewires the link's far end (used while assembling topologies).
+// SetDst rewires the link's far end (used while assembling topologies and
+// by taps). Safe while the pump is active: delivery reads dst at fire
+// time. Must be called at an event boundary (see the Link contract).
 func (l *Link) SetDst(dst Port) { l.dst = dst }
+
+// SetDown fails (down=true) or restores (down=false) the link. While
+// down, the transmit pump halts: already-queued packets are held (as in a
+// switch port buffer), packets mid-flight on the wire are lost and
+// counted, and new Sends keep queueing until the buffer tail-drops.
+// Restoring the link resumes the pump. Must be called at an event
+// boundary.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down && !l.busy {
+		l.pump()
+	}
+}
+
+// Down reports whether the link is administratively/physically down.
+func (l *Link) Down() bool { return l.down }
+
+// SetLoss installs probabilistic packet loss: each Send is dropped with
+// probability prob, drawn from rng (pass a seeded source for reproducible
+// chaos runs). prob <= 0 or a nil rng clears loss. Must be called at an
+// event boundary.
+func (l *Link) SetLoss(prob float64, rng *rand.Rand) {
+	if prob <= 0 || rng == nil {
+		l.lossProb, l.lossRng = 0, nil
+		return
+	}
+	l.lossProb, l.lossRng = prob, rng
+}
 
 // Send queues p on class q for transmission. Dropped packets are counted
 // and vanish, as on a real wire.
 func (l *Link) Send(q int, p *packet.Packet) {
+	if l.lossRng != nil && l.lossRng.Float64() < l.lossProb {
+		l.lossDrops++
+		return
+	}
 	if !l.queue.Enqueue(q, p) {
 		l.dropPkts++
 		return
 	}
-	if !l.busy {
+	if !l.busy && !l.down {
 		l.pump()
 	}
 }
 
 func (l *Link) pump() {
+	if l.down {
+		// Hold the queue; SetDown(false) restarts the pump.
+		l.busy = false
+		return
+	}
 	p := l.queue.Dequeue()
 	if p == nil {
 		l.busy = false
@@ -136,15 +196,26 @@ func (l *Link) pump() {
 	l.txPkts++
 	l.eng.After(ser, func() {
 		// Wire is free for the next packet while p propagates.
-		l.eng.After(l.prop, func() { l.dst.Input(p) })
+		l.eng.After(l.prop, func() {
+			if l.down {
+				// The wire failed while p was propagating.
+				l.downDrops++
+				return
+			}
+			l.dst.Input(p)
+		})
 		l.pump()
 	})
 }
 
-// Stats returns transmitted packets/bytes and drops.
+// Stats returns transmitted packets/bytes and queue tail drops.
 func (l *Link) Stats() (pkts, bytes, drops uint64) {
 	return l.txPkts, l.txBytes, l.dropPkts
 }
+
+// FaultDrops returns packets lost to injected faults: in-flight losses
+// from a down wire and probabilistic loss drops.
+func (l *Link) FaultDrops() (down, loss uint64) { return l.downDrops, l.lossDrops }
 
 // QueueLen returns the current egress queue occupancy.
 func (l *Link) QueueLen() int { return l.queue.Len() }

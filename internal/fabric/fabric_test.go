@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -138,6 +139,139 @@ func TestRouter(t *testing.T) {
 	r.Forward(p3)
 	if def != 1 {
 		t.Error("default port not used")
+	}
+}
+
+// TestLinkDownHoldsQueueAndCountsInflight pins the SetDown contract:
+// queued packets are held (not dropped) while the wire is down, packets
+// mid-propagation are lost and counted in FaultDrops, and restoring the
+// link resumes the pump.
+func TestLinkDownHoldsQueueAndCountsInflight(t *testing.T) {
+	eng := sim.NewEngine(1)
+	delivered := 0
+	dst := PortFunc(func(*packet.Packet) { delivered++ })
+	// 1 Gbps, 10µs propagation: WireLen 1000 → 8µs serialization.
+	l := NewLink(eng, 1e9, 10*time.Microsecond, nil, dst)
+	l.Send(0, pkt(946))
+	l.Send(0, pkt(946))
+	l.Send(0, pkt(946))
+	// Fail the wire at 12µs: packet 0 is propagating (8–18µs) and packet
+	// 1 is mid-serialization (8–16µs) — both are on the wire and lost;
+	// packet 2 is still queued and held.
+	eng.At(12*time.Microsecond, func() { l.SetDown(true) })
+	eng.RunUntil(200 * time.Microsecond)
+	if delivered != 0 {
+		t.Fatalf("delivered %d while down, want 0", delivered)
+	}
+	down, loss := l.FaultDrops()
+	if down != 2 || loss != 0 {
+		t.Fatalf("FaultDrops = (%d,%d), want (2,0): exactly the on-wire packets", down, loss)
+	}
+	if l.QueueLen() == 0 {
+		t.Fatal("queue must hold packets while the link is down")
+	}
+	// Restore: the held packet drains.
+	l.SetDown(false)
+	eng.Run()
+	if delivered != 1 {
+		t.Errorf("delivered %d after recovery, want 1", delivered)
+	}
+}
+
+// TestLinkLossAccounting pins probabilistic loss: every dropped packet is
+// counted, conservation holds, and clearing the fault stops the loss.
+func TestLinkLossAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	delivered := 0
+	l := NewLink(eng, 10e9, 0, NewFIFO(100000), PortFunc(func(*packet.Packet) { delivered++ }))
+	l.SetLoss(0.5, rand.New(rand.NewSource(7)))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(0, pkt(100))
+	}
+	eng.Run()
+	_, loss := l.FaultDrops()
+	if loss == 0 || loss == n {
+		t.Fatalf("loss drops = %d, want 0 < loss < %d at p=0.5", loss, n)
+	}
+	if delivered+int(loss) != n {
+		t.Errorf("conservation: delivered %d + loss %d != %d", delivered, loss, n)
+	}
+	if fr := float64(loss) / n; fr < 0.4 || fr > 0.6 {
+		t.Errorf("loss fraction %.3f implausible for p=0.5", fr)
+	}
+	// Clear and verify no further loss.
+	l.SetLoss(0, nil)
+	for i := 0; i < 100; i++ {
+		l.Send(0, pkt(100))
+	}
+	eng.Run()
+	_, loss2 := l.FaultDrops()
+	if loss2 != loss {
+		t.Errorf("loss kept counting after clear: %d → %d", loss, loss2)
+	}
+}
+
+// TestFIFOOverloadAccounting drives a link at 10× line rate for a
+// sustained period and checks exact drop accounting: every offered packet
+// is either delivered or counted as a tail drop, and the queue bound is
+// respected throughout.
+func TestFIFOOverloadAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	delivered := uint64(0)
+	const limit = 64
+	l := NewLink(eng, 1e9, 0, NewFIFO(limit), PortFunc(func(*packet.Packet) { delivered++ }))
+	// WireLen 1000 → 8µs serialization at 1 Gbps → 125 kpps drain.
+	// Offer 10× that for 20ms.
+	const (
+		period  = 800 * time.Nanosecond // 1.25 Mpps offered
+		horizon = 20 * time.Millisecond
+	)
+	offered := uint64(0)
+	tk := eng.Every(period, func() {
+		offered++
+		l.Send(0, pkt(946))
+		if l.QueueLen() > limit {
+			t.Fatalf("queue length %d exceeds limit %d", l.QueueLen(), limit)
+		}
+	})
+	eng.At(horizon, tk.Stop)
+	eng.Run()
+	txPkts, txBytes, drops := l.Stats()
+	if drops == 0 {
+		t.Fatal("no tail drops under 10× overload")
+	}
+	if delivered+drops != offered {
+		t.Errorf("conservation: delivered %d + drops %d != offered %d", delivered, drops, offered)
+	}
+	if txPkts != delivered {
+		t.Errorf("txPkts %d != delivered %d (zero-propagation link)", txPkts, delivered)
+	}
+	if txBytes != txPkts*1000 {
+		t.Errorf("txBytes %d != %d", txBytes, txPkts*1000)
+	}
+	// Drain rate ≈ line rate: delivered ≈ horizon / 8µs.
+	wantDelivered := uint64(horizon / (8 * time.Microsecond))
+	if diff := int64(delivered) - int64(wantDelivered); diff < -limit || diff > limit {
+		t.Errorf("delivered %d, want ≈%d (line-rate drain)", delivered, wantDelivered)
+	}
+}
+
+// TestSetDstLateBinding pins the documented concurrency contract: the
+// destination is read at delivery time, so rewiring a busy link redirects
+// the packets still in flight.
+func TestSetDstLateBinding(t *testing.T) {
+	eng := sim.NewEngine(1)
+	gotOld, gotNew := 0, 0
+	l := NewLink(eng, 1e9, 10*time.Microsecond, nil, PortFunc(func(*packet.Packet) { gotOld++ }))
+	l.Send(0, pkt(946)) // serializes by 8µs, arrives at 18µs
+	// Retarget while the packet is still propagating.
+	eng.At(12*time.Microsecond, func() {
+		l.SetDst(PortFunc(func(*packet.Packet) { gotNew++ }))
+	})
+	eng.Run()
+	if gotOld != 0 || gotNew != 1 {
+		t.Errorf("delivery went old=%d new=%d, want 0/1 (late-bound dst)", gotOld, gotNew)
 	}
 }
 

@@ -1,0 +1,625 @@
+// Package faults is the testbed's deterministic fault-injection
+// subsystem. The paper's headline claims beyond raw speed are
+// seamlessness (§4.1.2: offloaded flows survive disruption without
+// blackholing) and scalability without coordination (§4.3.3); this
+// package supplies the adversary those claims are tested against.
+//
+// A Plan is a declarative list of timed Events — link failures and flaps,
+// probabilistic packet loss, control-channel severance and delay,
+// hardware rule-install rejection, and controller crash/restart. An
+// Injector binds the plan to named targets registered by the testbed
+// (fabric links, openflow transports, ToR TCAMs, TOR controllers) and
+// schedules everything on the sim engine, so a chaos run is exactly as
+// reproducible as a fault-free one: same seed, same byte-identical event
+// log.
+//
+// The package deliberately knows nothing about fabric/openflow/tor/core —
+// targets plug in through the small interfaces below, which those
+// packages implement.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ErrInjected is the error surfaced by injected hardware rejections.
+var ErrInjected = errors.New("faults: injected hardware rejection")
+
+// Kind discriminates fault event types.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// LinkDown fails a link for Duration (0 = permanently).
+	LinkDown Kind = iota + 1
+	// LinkFlap toggles a link down/up every Period within
+	// [At, At+Duration), ending in the up state.
+	LinkFlap
+	// PacketLoss drops each packet on a link with probability Prob for
+	// Duration.
+	PacketLoss
+	// ChannelDown severs a control connection (both directions) for
+	// Duration — the OpenFlow-disconnect fault.
+	ChannelDown
+	// ChannelLoss drops each control message with probability Prob for
+	// Duration.
+	ChannelLoss
+	// ChannelDelay adds Delay of extra one-way latency to a control
+	// connection for Duration.
+	ChannelDelay
+	// TCAMReject makes hardware rule installs fail with probability
+	// Prob (default 1) for Duration (0 = permanently).
+	TCAMReject
+	// ControllerCrash crashes a controller at At and restarts it after
+	// Duration (0 = it stays down).
+	ControllerCrash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "linkdown"
+	case LinkFlap:
+		return "linkflap"
+	case PacketLoss:
+		return "loss"
+	case ChannelDown:
+		return "ctldown"
+	case ChannelLoss:
+		return "ctlloss"
+	case ChannelDelay:
+		return "ctldelay"
+	case TCAMReject:
+		return "tcamreject"
+	case ControllerCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is when the fault strikes (virtual time).
+	At time.Duration
+	// Kind selects the fault; Target names the registered victim.
+	Kind   Kind
+	Target string
+	// Duration is the fault window; 0 means permanent (except LinkFlap,
+	// where it bounds the flapping).
+	Duration time.Duration
+	// Prob parameterizes probabilistic kinds (PacketLoss, ChannelLoss,
+	// TCAMReject; the latter defaults to 1 when 0).
+	Prob float64
+	// Period is the LinkFlap toggle interval (default Duration/8).
+	Period time.Duration
+	// Delay is the ChannelDelay extra latency.
+	Delay time.Duration
+	// Seed derives the event's private RNG for probabilistic kinds, so
+	// two plans differing only in one event's seed stay otherwise
+	// comparable. 0 falls back to the injector seed + event index.
+	Seed int64
+}
+
+// Plan is a declarative fault schedule.
+type Plan struct {
+	Events []Event
+}
+
+// Link is the fault surface of a physical wire (fabric.Link implements
+// it).
+type Link interface {
+	SetDown(down bool)
+	SetLoss(prob float64, rng *rand.Rand)
+}
+
+// Channel is the fault surface of one control-connection direction
+// (openflow.Transport implements it). A registered connection is the set
+// of its directions; faults apply to all of them.
+type Channel interface {
+	SetDown(down bool)
+	SetLoss(prob float64, rng *rand.Rand)
+	SetExtraDelay(d time.Duration)
+}
+
+// HardwareTable is the fault surface of a switch rule memory (tor.TOR
+// implements it).
+type HardwareTable interface {
+	SetInstallFault(f func() error)
+}
+
+// Controller is the fault surface of a crashable control process
+// (core.TORController implements it).
+type Controller interface {
+	Crash()
+	Restart()
+}
+
+// Injector binds fault plans to registered targets on a sim engine.
+type Injector struct {
+	eng  *sim.Engine
+	seed int64
+
+	links  map[string]Link
+	chans  map[string][]Channel
+	tables map[string]HardwareTable
+	ctrls  map[string]Controller
+
+	log []string
+	// Applied counts fault transitions executed.
+	Applied uint64
+}
+
+// NewInjector returns an injector for the engine. seed drives the
+// per-event RNGs of probabilistic faults (not the engine's own RNG, so
+// fault randomness is isolated from model randomness).
+func NewInjector(eng *sim.Engine, seed int64) *Injector {
+	return &Injector{
+		eng:    eng,
+		seed:   seed,
+		links:  make(map[string]Link),
+		chans:  make(map[string][]Channel),
+		tables: make(map[string]HardwareTable),
+		ctrls:  make(map[string]Controller),
+	}
+}
+
+// RegisterLink names a wire target.
+func (in *Injector) RegisterLink(name string, l Link) { in.links[name] = l }
+
+// RegisterChannel names a control connection; pass every direction of the
+// connection so a ChannelDown severs it completely.
+func (in *Injector) RegisterChannel(name string, dirs ...Channel) { in.chans[name] = dirs }
+
+// RegisterTable names a hardware rule table target.
+func (in *Injector) RegisterTable(name string, t HardwareTable) { in.tables[name] = t }
+
+// RegisterController names a crashable controller target.
+func (in *Injector) RegisterController(name string, c Controller) { in.ctrls[name] = c }
+
+// Targets lists registered target names by category, sorted — handy for
+// CLI help and for random plan generation.
+func (in *Injector) Targets() (links, channels, tables, controllers []string) {
+	for n := range in.links {
+		links = append(links, n)
+	}
+	for n := range in.chans {
+		channels = append(channels, n)
+	}
+	for n := range in.tables {
+		tables = append(tables, n)
+	}
+	for n := range in.ctrls {
+		controllers = append(controllers, n)
+	}
+	sort.Strings(links)
+	sort.Strings(channels)
+	sort.Strings(tables)
+	sort.Strings(controllers)
+	return
+}
+
+// Log returns the chronological record of applied fault transitions. Two
+// runs with identical seeds produce byte-identical logs — the determinism
+// harness diffs them.
+func (in *Injector) Log() []string { return in.log }
+
+func (in *Injector) logf(format string, args ...any) {
+	in.Applied++
+	in.log = append(in.log, fmt.Sprintf("%12v %s", in.eng.Now(), fmt.Sprintf(format, args...)))
+}
+
+// Apply validates every event's target and schedules the whole plan.
+// Events are scheduled in plan order; equal-time events fire in plan
+// order too (the engine's FIFO tie-break).
+func (in *Injector) Apply(p Plan) error {
+	for i, ev := range p.Events {
+		if err := in.validate(ev); err != nil {
+			return fmt.Errorf("faults: event %d (%s %s): %w", i, ev.Kind, ev.Target, err)
+		}
+	}
+	for i, ev := range p.Events {
+		in.schedule(i, ev)
+	}
+	return nil
+}
+
+func (in *Injector) validate(ev Event) error {
+	switch ev.Kind {
+	case LinkDown, LinkFlap, PacketLoss:
+		if _, ok := in.links[ev.Target]; !ok {
+			return fmt.Errorf("unknown link %q", ev.Target)
+		}
+	case ChannelDown, ChannelLoss, ChannelDelay:
+		if _, ok := in.chans[ev.Target]; !ok {
+			return fmt.Errorf("unknown channel %q", ev.Target)
+		}
+	case TCAMReject:
+		if _, ok := in.tables[ev.Target]; !ok {
+			return fmt.Errorf("unknown table %q", ev.Target)
+		}
+	case ControllerCrash:
+		if _, ok := in.ctrls[ev.Target]; !ok {
+			return fmt.Errorf("unknown controller %q", ev.Target)
+		}
+	default:
+		return fmt.Errorf("unknown kind %d", ev.Kind)
+	}
+	if ev.Prob < 0 || ev.Prob > 1 {
+		return fmt.Errorf("probability %v out of [0,1]", ev.Prob)
+	}
+	return nil
+}
+
+// rng builds the event's private deterministic source.
+func (in *Injector) rng(idx int, ev Event) *rand.Rand {
+	seed := ev.Seed
+	if seed == 0 {
+		seed = in.seed + int64(idx)*7919
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+func (in *Injector) schedule(idx int, ev Event) {
+	switch ev.Kind {
+	case LinkDown:
+		l := in.links[ev.Target]
+		in.eng.At(ev.At, func() {
+			l.SetDown(true)
+			in.logf("link %s down", ev.Target)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				l.SetDown(false)
+				in.logf("link %s up", ev.Target)
+			})
+		}
+	case LinkFlap:
+		l := in.links[ev.Target]
+		period := ev.Period
+		if period <= 0 {
+			period = ev.Duration / 8
+		}
+		if period <= 0 {
+			period = time.Millisecond
+		}
+		end := ev.At + ev.Duration
+		var toggle func(down bool)
+		toggle = func(down bool) {
+			now := in.eng.Now()
+			if now >= end || ev.Duration == 0 {
+				l.SetDown(false)
+				in.logf("link %s flap end (up)", ev.Target)
+				return
+			}
+			l.SetDown(down)
+			if down {
+				in.logf("link %s flap down", ev.Target)
+			} else {
+				in.logf("link %s flap up", ev.Target)
+			}
+			in.eng.After(period, func() { toggle(!down) })
+		}
+		in.eng.At(ev.At, func() { toggle(true) })
+	case PacketLoss:
+		l := in.links[ev.Target]
+		rng := in.rng(idx, ev)
+		in.eng.At(ev.At, func() {
+			l.SetLoss(ev.Prob, rng)
+			in.logf("link %s loss p=%.3f", ev.Target, ev.Prob)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				l.SetLoss(0, nil)
+				in.logf("link %s loss cleared", ev.Target)
+			})
+		}
+	case ChannelDown:
+		dirs := in.chans[ev.Target]
+		in.eng.At(ev.At, func() {
+			for _, d := range dirs {
+				d.SetDown(true)
+			}
+			in.logf("channel %s down", ev.Target)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				for _, d := range dirs {
+					d.SetDown(false)
+				}
+				in.logf("channel %s up", ev.Target)
+			})
+		}
+	case ChannelLoss:
+		dirs := in.chans[ev.Target]
+		rng := in.rng(idx, ev)
+		in.eng.At(ev.At, func() {
+			for _, d := range dirs {
+				d.SetLoss(ev.Prob, rng)
+			}
+			in.logf("channel %s loss p=%.3f", ev.Target, ev.Prob)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				for _, d := range dirs {
+					d.SetLoss(0, nil)
+				}
+				in.logf("channel %s loss cleared", ev.Target)
+			})
+		}
+	case ChannelDelay:
+		dirs := in.chans[ev.Target]
+		in.eng.At(ev.At, func() {
+			for _, d := range dirs {
+				d.SetExtraDelay(ev.Delay)
+			}
+			in.logf("channel %s +%v delay", ev.Target, ev.Delay)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				for _, d := range dirs {
+					d.SetExtraDelay(0)
+				}
+				in.logf("channel %s delay cleared", ev.Target)
+			})
+		}
+	case TCAMReject:
+		tbl := in.tables[ev.Target]
+		prob := ev.Prob
+		if prob == 0 {
+			prob = 1
+		}
+		rng := in.rng(idx, ev)
+		in.eng.At(ev.At, func() {
+			tbl.SetInstallFault(func() error {
+				if prob >= 1 || rng.Float64() < prob {
+					return ErrInjected
+				}
+				return nil
+			})
+			in.logf("table %s rejecting installs p=%.3f", ev.Target, prob)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				tbl.SetInstallFault(nil)
+				in.logf("table %s install fault cleared", ev.Target)
+			})
+		}
+	case ControllerCrash:
+		c := in.ctrls[ev.Target]
+		in.eng.At(ev.At, func() {
+			c.Crash()
+			in.logf("controller %s crashed", ev.Target)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				c.Restart()
+				in.logf("controller %s restarted", ev.Target)
+			})
+		}
+	}
+}
+
+// LastFaultClear returns the latest time at which any windowed fault in
+// the plan clears (flaps end, windows close, controllers restart).
+// Permanent faults (Duration 0, other than flap) are ignored. Recovery
+// assertions should only look at the interval after this.
+func LastFaultClear(p Plan) time.Duration {
+	var last time.Duration
+	for _, ev := range p.Events {
+		end := ev.At + ev.Duration
+		if ev.Duration == 0 {
+			end = ev.At
+		}
+		if end > last {
+			last = end
+		}
+	}
+	return last
+}
+
+// ---- plan parsing (CLI) ----
+
+// ParsePlan parses a compact plan DSL, one event per semicolon-separated
+// clause:
+//
+//	kind:target@at+dur[,p=0.3][,period=5ms][,delay=1ms][,seed=7]
+//
+// e.g. "linkflap:downlink0@100ms+200ms,period=20ms;
+// tcamreject:tor0@50ms+300ms;crash:torctl0@400ms+150ms". Durations use
+// Go syntax; "+dur" may be omitted for permanent faults.
+func ParsePlan(spec string) (Plan, error) {
+	var plan Plan
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		ev, err := parseEvent(clause)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: %q: %w", clause, err)
+		}
+		plan.Events = append(plan.Events, ev)
+	}
+	if len(plan.Events) == 0 {
+		return Plan{}, errors.New("faults: empty plan")
+	}
+	return plan, nil
+}
+
+func parseEvent(clause string) (Event, error) {
+	var ev Event
+	head, opts, _ := strings.Cut(clause, ",")
+	kindStr, rest, ok := strings.Cut(head, ":")
+	if !ok {
+		return ev, errors.New("missing kind: separator")
+	}
+	switch strings.TrimSpace(kindStr) {
+	case "linkdown":
+		ev.Kind = LinkDown
+	case "linkflap":
+		ev.Kind = LinkFlap
+	case "loss":
+		ev.Kind = PacketLoss
+	case "ctldown":
+		ev.Kind = ChannelDown
+	case "ctlloss":
+		ev.Kind = ChannelLoss
+	case "ctldelay":
+		ev.Kind = ChannelDelay
+	case "tcamreject":
+		ev.Kind = TCAMReject
+	case "crash":
+		ev.Kind = ControllerCrash
+	default:
+		return ev, fmt.Errorf("unknown kind %q", kindStr)
+	}
+	target, timing, ok := strings.Cut(rest, "@")
+	if !ok {
+		return ev, errors.New("missing @at")
+	}
+	ev.Target = strings.TrimSpace(target)
+	atStr, durStr, hasDur := strings.Cut(timing, "+")
+	at, err := time.ParseDuration(strings.TrimSpace(atStr))
+	if err != nil {
+		return ev, fmt.Errorf("bad at: %w", err)
+	}
+	ev.At = at
+	if hasDur {
+		d, err := time.ParseDuration(strings.TrimSpace(durStr))
+		if err != nil {
+			return ev, fmt.Errorf("bad duration: %w", err)
+		}
+		ev.Duration = d
+	}
+	if opts != "" {
+		for _, opt := range strings.Split(opts, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(opt), "=")
+			if !ok {
+				return ev, fmt.Errorf("bad option %q", opt)
+			}
+			switch k {
+			case "p":
+				p, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return ev, fmt.Errorf("bad p: %w", err)
+				}
+				ev.Prob = p
+			case "period":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return ev, fmt.Errorf("bad period: %w", err)
+				}
+				ev.Period = d
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return ev, fmt.Errorf("bad delay: %w", err)
+				}
+				ev.Delay = d
+			case "seed":
+				s, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return ev, fmt.Errorf("bad seed: %w", err)
+				}
+				ev.Seed = s
+			default:
+				return ev, fmt.Errorf("unknown option %q", k)
+			}
+		}
+	}
+	return ev, nil
+}
+
+// ---- random plan generation ----
+
+// TargetSet names the registered targets a random plan may pick from.
+type TargetSet struct {
+	Links       []string
+	Channels    []string
+	Tables      []string
+	Controllers []string
+}
+
+// RandomPlan draws a randomized but deterministic plan from seed: a
+// handful of windowed faults spread over [horizon/10, horizon*3/4], every
+// window closing before the horizon so recovery is observable. The same
+// seed and targets always produce the same plan.
+func RandomPlan(seed int64, horizon time.Duration, ts TargetSet) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	var plan Plan
+	pick := func(names []string) (string, bool) {
+		if len(names) == 0 {
+			return "", false
+		}
+		return names[rng.Intn(len(names))], true
+	}
+	window := func() (at, dur time.Duration) {
+		span := horizon * 3 / 4
+		at = horizon/10 + time.Duration(rng.Int63n(int64(span)))
+		maxDur := horizon*9/10 - at
+		if maxDur < time.Millisecond {
+			maxDur = time.Millisecond
+		}
+		dur = time.Duration(rng.Int63n(int64(maxDur))) + time.Millisecond
+		return
+	}
+	n := 3 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		at, dur := window()
+		switch rng.Intn(5) {
+		case 0:
+			if t, ok := pick(ts.Links); ok {
+				plan.Events = append(plan.Events, Event{
+					At: at, Kind: LinkFlap, Target: t, Duration: dur,
+					Period: dur / time.Duration(2+rng.Intn(6)),
+				})
+			}
+		case 1:
+			if t, ok := pick(ts.Links); ok {
+				plan.Events = append(plan.Events, Event{
+					At: at, Kind: PacketLoss, Target: t, Duration: dur,
+					Prob: 0.02 + rng.Float64()*0.2, Seed: rng.Int63(),
+				})
+			}
+		case 2:
+			if t, ok := pick(ts.Channels); ok {
+				kind := ChannelDown
+				ev := Event{At: at, Kind: kind, Target: t, Duration: dur}
+				if rng.Intn(2) == 0 {
+					ev.Kind = ChannelDelay
+					ev.Delay = time.Duration(rng.Intn(2000)) * time.Microsecond
+				}
+				plan.Events = append(plan.Events, ev)
+			}
+		case 3:
+			if t, ok := pick(ts.Tables); ok {
+				plan.Events = append(plan.Events, Event{
+					At: at, Kind: TCAMReject, Target: t, Duration: dur,
+					Prob: 0.5 + rng.Float64()*0.5, Seed: rng.Int63(),
+				})
+			}
+		case 4:
+			if t, ok := pick(ts.Controllers); ok {
+				plan.Events = append(plan.Events, Event{
+					At: at, Kind: ControllerCrash, Target: t, Duration: dur,
+				})
+			}
+		}
+	}
+	if len(plan.Events) == 0 {
+		// Degenerate target set; at least perturb something registered.
+		if t, ok := pick(ts.Links); ok {
+			plan.Events = append(plan.Events, Event{At: horizon / 4, Kind: LinkDown, Target: t, Duration: horizon / 8})
+		}
+	}
+	return plan
+}

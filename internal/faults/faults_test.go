@@ -1,0 +1,379 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ---- fake targets ----
+
+type fakeLink struct {
+	eng    *sim.Engine
+	events []string
+}
+
+func (f *fakeLink) SetDown(down bool) {
+	f.events = append(f.events, fmt.Sprintf("%v down=%v", f.eng.Now(), down))
+}
+func (f *fakeLink) SetLoss(p float64, _ *rand.Rand) {
+	f.events = append(f.events, fmt.Sprintf("%v loss=%.2f", f.eng.Now(), p))
+}
+
+type fakeChan struct {
+	fakeLink
+	delays []time.Duration
+}
+
+func (f *fakeChan) SetExtraDelay(d time.Duration) { f.delays = append(f.delays, d) }
+
+type fakeTable struct {
+	fault func() error
+	sets  int
+}
+
+func (f *fakeTable) SetInstallFault(fn func() error) { f.fault = fn; f.sets++ }
+
+type fakeCtrl struct{ crashes, restarts int }
+
+func (f *fakeCtrl) Crash()   { f.crashes++ }
+func (f *fakeCtrl) Restart() { f.restarts++ }
+
+func rig(t *testing.T) (*sim.Engine, *Injector, *fakeLink, *fakeChan, *fakeTable, *fakeCtrl) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	inj := NewInjector(eng, 42)
+	l := &fakeLink{eng: eng}
+	ch := &fakeChan{fakeLink: fakeLink{eng: eng}}
+	tbl := &fakeTable{}
+	ctl := &fakeCtrl{}
+	inj.RegisterLink("up0", l)
+	inj.RegisterChannel("ctl0", ch)
+	inj.RegisterTable("tcam0", tbl)
+	inj.RegisterController("proc0", ctl)
+	return eng, inj, l, ch, tbl, ctl
+}
+
+// ---- scheduling semantics ----
+
+func TestLinkDownWindow(t *testing.T) {
+	eng, inj, l, _, _, _ := rig(t)
+	if err := inj.Apply(Plan{Events: []Event{
+		{At: 10 * time.Millisecond, Kind: LinkDown, Target: "up0", Duration: 20 * time.Millisecond},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Second)
+	want := []string{"10ms down=true", "30ms down=false"}
+	if !reflect.DeepEqual(l.events, want) {
+		t.Fatalf("events %v, want %v", l.events, want)
+	}
+	if inj.Applied != 2 {
+		t.Errorf("Applied = %d, want 2", inj.Applied)
+	}
+}
+
+func TestLinkDownPermanent(t *testing.T) {
+	eng, inj, l, _, _, _ := rig(t)
+	if err := inj.Apply(Plan{Events: []Event{
+		{At: 5 * time.Millisecond, Kind: LinkDown, Target: "up0"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Second)
+	want := []string{"5ms down=true"}
+	if !reflect.DeepEqual(l.events, want) {
+		t.Fatalf("events %v, want %v (no recovery for Duration=0)", l.events, want)
+	}
+}
+
+func TestLinkFlapTogglesAndEndsUp(t *testing.T) {
+	eng, inj, l, _, _, _ := rig(t)
+	if err := inj.Apply(Plan{Events: []Event{
+		{At: 10 * time.Millisecond, Kind: LinkFlap, Target: "up0",
+			Duration: 40 * time.Millisecond, Period: 10 * time.Millisecond},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Second)
+	want := []string{
+		"10ms down=true", "20ms down=false", "30ms down=true",
+		"40ms down=false", "50ms down=false", // final transition: flap end (up)
+	}
+	if !reflect.DeepEqual(l.events, want) {
+		t.Fatalf("events %v, want %v", l.events, want)
+	}
+	last := l.events[len(l.events)-1]
+	if last != "50ms down=false" {
+		t.Errorf("flap must end in the up state, last transition %q", last)
+	}
+}
+
+func TestPacketLossWindow(t *testing.T) {
+	eng, inj, l, _, _, _ := rig(t)
+	if err := inj.Apply(Plan{Events: []Event{
+		{At: time.Millisecond, Kind: PacketLoss, Target: "up0", Duration: time.Millisecond, Prob: 0.25},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Second)
+	want := []string{"1ms loss=0.25", "2ms loss=0.00"}
+	if !reflect.DeepEqual(l.events, want) {
+		t.Fatalf("events %v, want %v", l.events, want)
+	}
+}
+
+func TestChannelFaultsHitEveryDirection(t *testing.T) {
+	eng := sim.NewEngine(1)
+	inj := NewInjector(eng, 1)
+	a := &fakeChan{fakeLink: fakeLink{eng: eng}}
+	b := &fakeChan{fakeLink: fakeLink{eng: eng}}
+	inj.RegisterChannel("ctl0", a, b)
+	if err := inj.Apply(Plan{Events: []Event{
+		{At: time.Millisecond, Kind: ChannelDown, Target: "ctl0", Duration: time.Millisecond},
+		{At: 3 * time.Millisecond, Kind: ChannelDelay, Target: "ctl0", Duration: time.Millisecond, Delay: 500 * time.Microsecond},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Second)
+	wantDown := []string{"1ms down=true", "2ms down=false"}
+	for i, c := range []*fakeChan{a, b} {
+		if !reflect.DeepEqual(c.events, wantDown) {
+			t.Errorf("dir %d events %v, want %v", i, c.events, wantDown)
+		}
+		wantDelay := []time.Duration{500 * time.Microsecond, 0}
+		if !reflect.DeepEqual(c.delays, wantDelay) {
+			t.Errorf("dir %d delays %v, want %v", i, c.delays, wantDelay)
+		}
+	}
+}
+
+func TestTCAMRejectDefaultsToCertain(t *testing.T) {
+	eng, inj, _, _, tbl, _ := rig(t)
+	if err := inj.Apply(Plan{Events: []Event{
+		{At: time.Millisecond, Kind: TCAMReject, Target: "tcam0", Duration: 2 * time.Millisecond}, // Prob 0 → 1
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(2 * time.Millisecond) // inside the window (end event not yet run)
+	if tbl.fault == nil {
+		t.Fatal("install fault not set inside window")
+	}
+	for i := 0; i < 10; i++ {
+		if err := tbl.fault(); err != ErrInjected {
+			t.Fatalf("fault() = %v, want ErrInjected every time at default prob", err)
+		}
+	}
+	eng.RunUntil(time.Second)
+	if tbl.fault != nil {
+		t.Error("install fault not cleared after window")
+	}
+	if tbl.sets != 2 {
+		t.Errorf("SetInstallFault called %d times, want 2 (set+clear)", tbl.sets)
+	}
+}
+
+func TestControllerCrashRestart(t *testing.T) {
+	eng, inj, _, _, _, ctl := rig(t)
+	if err := inj.Apply(Plan{Events: []Event{
+		{At: time.Millisecond, Kind: ControllerCrash, Target: "proc0", Duration: 5 * time.Millisecond},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(3 * time.Millisecond)
+	if ctl.crashes != 1 || ctl.restarts != 0 {
+		t.Fatalf("mid-window: crashes=%d restarts=%d, want 1/0", ctl.crashes, ctl.restarts)
+	}
+	eng.RunUntil(time.Second)
+	if ctl.crashes != 1 || ctl.restarts != 1 {
+		t.Fatalf("after window: crashes=%d restarts=%d, want 1/1", ctl.crashes, ctl.restarts)
+	}
+}
+
+// ---- validation ----
+
+func TestApplyRejectsUnknownTargets(t *testing.T) {
+	_, inj, _, _, _, _ := rig(t)
+	cases := []Event{
+		{Kind: LinkDown, Target: "nope"},
+		{Kind: ChannelDown, Target: "nope"},
+		{Kind: TCAMReject, Target: "nope"},
+		{Kind: ControllerCrash, Target: "nope"},
+		{Kind: Kind(99), Target: "up0"},
+		{Kind: PacketLoss, Target: "up0", Prob: 1.5},
+	}
+	for _, ev := range cases {
+		if err := inj.Apply(Plan{Events: []Event{ev}}); err == nil {
+			t.Errorf("Apply accepted invalid event %+v", ev)
+		}
+	}
+	if inj.Applied != 0 {
+		t.Errorf("invalid plans must not schedule anything, Applied = %d", inj.Applied)
+	}
+}
+
+func TestTargets(t *testing.T) {
+	_, inj, _, _, _, _ := rig(t)
+	links, chans, tables, ctrls := inj.Targets()
+	if !reflect.DeepEqual(links, []string{"up0"}) || !reflect.DeepEqual(chans, []string{"ctl0"}) ||
+		!reflect.DeepEqual(tables, []string{"tcam0"}) || !reflect.DeepEqual(ctrls, []string{"proc0"}) {
+		t.Errorf("Targets() = %v %v %v %v", links, chans, tables, ctrls)
+	}
+}
+
+// ---- DSL parsing ----
+
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan(
+		"linkflap:up0@100ms+200ms,period=20ms; tcamreject:tcam0@50ms+300ms,p=0.5,seed=7;" +
+			"crash:proc0@400ms+150ms; ctldelay:ctl0@1s,delay=2ms; loss:up0@0s+1s,p=0.1",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{At: 100 * time.Millisecond, Kind: LinkFlap, Target: "up0", Duration: 200 * time.Millisecond, Period: 20 * time.Millisecond},
+		{At: 50 * time.Millisecond, Kind: TCAMReject, Target: "tcam0", Duration: 300 * time.Millisecond, Prob: 0.5, Seed: 7},
+		{At: 400 * time.Millisecond, Kind: ControllerCrash, Target: "proc0", Duration: 150 * time.Millisecond},
+		{At: time.Second, Kind: ChannelDelay, Target: "ctl0", Delay: 2 * time.Millisecond},
+		{At: 0, Kind: PacketLoss, Target: "up0", Duration: time.Second, Prob: 0.1},
+	}
+	if !reflect.DeepEqual(plan.Events, want) {
+		t.Fatalf("ParsePlan = %+v, want %+v", plan.Events, want)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ;  ; ",
+		"up0@100ms",                 // missing kind
+		"warp:up0@100ms",            // unknown kind
+		"linkdown:up0",              // missing @at
+		"linkdown:up0@notatime",     // bad at
+		"linkdown:up0@1s+notatime",  // bad duration
+		"loss:up0@1s+1s,p=high",     // bad p
+		"loss:up0@1s+1s,volume=11",  // unknown option
+		"linkflap:up0@1s+1s,period", // malformed option
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+// ---- random plans ----
+
+func TestRandomPlanDeterministicAndBounded(t *testing.T) {
+	ts := TargetSet{
+		Links:       []string{"up0", "down0"},
+		Channels:    []string{"ctl0"},
+		Tables:      []string{"tcam0"},
+		Controllers: []string{"proc0"},
+	}
+	horizon := 10 * time.Second
+	a := RandomPlan(99, horizon, ts)
+	b := RandomPlan(99, horizon, ts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := RandomPlan(100, horizon, ts)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("empty random plan")
+	}
+	known := map[string]bool{"up0": true, "down0": true, "ctl0": true, "tcam0": true, "proc0": true}
+	for _, ev := range a.Events {
+		if !known[ev.Target] {
+			t.Errorf("event targets unregistered %q", ev.Target)
+		}
+		if ev.At < horizon/10 {
+			t.Errorf("event at %v starts before horizon/10", ev.At)
+		}
+		if end := ev.At + ev.Duration; end > horizon {
+			t.Errorf("event window [%v,%v] outruns the horizon", ev.At, end)
+		}
+		if ev.Prob < 0 || ev.Prob > 1 {
+			t.Errorf("event probability %v out of range", ev.Prob)
+		}
+	}
+	if got, want := LastFaultClear(a), maxClear(a); got != want {
+		t.Errorf("LastFaultClear = %v, want %v", got, want)
+	}
+	// A random plan must validate against an injector holding the same
+	// target set.
+	eng := sim.NewEngine(1)
+	inj := NewInjector(eng, 1)
+	inj.RegisterLink("up0", &fakeLink{eng: eng})
+	inj.RegisterLink("down0", &fakeLink{eng: eng})
+	inj.RegisterChannel("ctl0", &fakeChan{fakeLink: fakeLink{eng: eng}})
+	inj.RegisterTable("tcam0", &fakeTable{})
+	inj.RegisterController("proc0", &fakeCtrl{})
+	if err := inj.Apply(a); err != nil {
+		t.Fatalf("random plan failed validation: %v", err)
+	}
+	eng.RunUntil(horizon)
+	if inj.Applied == 0 {
+		t.Error("random plan applied no transitions")
+	}
+}
+
+func maxClear(p Plan) time.Duration {
+	var last time.Duration
+	for _, ev := range p.Events {
+		end := ev.At + ev.Duration
+		if ev.Duration == 0 {
+			end = ev.At
+		}
+		if end > last {
+			last = end
+		}
+	}
+	return last
+}
+
+func TestRandomPlanDegenerateTargets(t *testing.T) {
+	p := RandomPlan(3, time.Second, TargetSet{Links: []string{"up0"}})
+	if len(p.Events) == 0 {
+		t.Fatal("plan for links-only target set is empty")
+	}
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case LinkDown, LinkFlap, PacketLoss:
+		default:
+			t.Errorf("links-only plan contains %v event", ev.Kind)
+		}
+	}
+}
+
+// ---- log determinism ----
+
+func TestInjectorLogDeterministic(t *testing.T) {
+	run := func() []string {
+		eng, inj, _, _, _, _ := rig(t)
+		plan := Plan{Events: []Event{
+			{At: time.Millisecond, Kind: LinkFlap, Target: "up0", Duration: 10 * time.Millisecond, Period: 2 * time.Millisecond},
+			{At: 5 * time.Millisecond, Kind: TCAMReject, Target: "tcam0", Duration: 5 * time.Millisecond, Prob: 0.5},
+			{At: 8 * time.Millisecond, Kind: ControllerCrash, Target: "proc0", Duration: 2 * time.Millisecond},
+		}}
+		if err := inj.Apply(plan); err != nil {
+			t.Fatal(err)
+		}
+		eng.RunUntil(time.Second)
+		return inj.Log()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("logs differ:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty log")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // Conn frames messages over a byte stream (a net.Conn in deployments, a
@@ -17,11 +18,51 @@ type Conn struct {
 	w       io.Writer
 	r       *bufio.Reader
 	nextXID uint32
+	dial    Dialer
 }
+
+// Dialer re-establishes the underlying byte stream after a connection
+// failure. Implementations typically wrap net.Dial with the controller's
+// address.
+type Dialer func() (io.ReadWriter, error)
 
 // NewConn wraps rw.
 func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{w: rw, r: bufio.NewReader(rw), nextXID: 1}
+}
+
+// SetDialer registers how to re-establish the stream; it enables
+// Reconnect and ServeReconnect.
+func (c *Conn) SetDialer(d Dialer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dial = d
+}
+
+// Reconnect closes the current stream (when it is an io.Closer), redials
+// through the registered Dialer and re-runs the Hello handshake. It must
+// be called from the reader goroutine (typically a Serve loop that just
+// returned an error): swapping the reader under an active Recv is not
+// supported. Concurrent Sends are excluded by the connection mutex while
+// the stream is swapped.
+func (c *Conn) Reconnect() error {
+	c.mu.Lock()
+	if c.dial == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("openflow: reconnect without a dialer")
+	}
+	if cl, ok := c.w.(io.Closer); ok {
+		_ = cl.Close()
+	}
+	rw, err := c.dial()
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("openflow: redial: %w", err)
+	}
+	c.w = rw
+	c.r = bufio.NewReader(rw)
+	c.mu.Unlock()
+	return c.Handshake()
 }
 
 // Send writes one message, returning the transaction id assigned to it.
@@ -97,17 +138,59 @@ type Handler interface {
 // ReplyFunc sends a reply correlated to a request.
 type ReplyFunc func(msg Message, xid uint32)
 
-// Serve reads messages from conn and dispatches to h until read error.
-// The returned error is io.EOF on orderly close.
+// Serve reads messages from conn and dispatches to h until the first
+// error — a read failure or a failed reply send. On a half-broken pipe
+// (readable, unwritable) the reply path is the only place the failure
+// surfaces, so reply-send errors terminate the loop instead of being
+// discarded and looping forever. The returned error is io.EOF on orderly
+// close.
 func Serve(conn *Conn, h Handler) error {
 	for {
 		msg, xid, err := conn.Recv()
 		if err != nil {
 			return err
 		}
+		var sendErr error
 		h.HandleMessage(msg, xid, func(m Message, x uint32) {
-			// Best effort: a broken pipe surfaces on the next Recv.
-			_ = conn.SendXID(m, x)
+			if err := conn.SendXID(m, x); err != nil && sendErr == nil {
+				sendErr = err
+			}
 		})
+		if sendErr != nil {
+			return sendErr
+		}
+	}
+}
+
+// ServeReconnect runs Serve and, on connection failure, redials through
+// the Conn's Dialer with exponential backoff, resuming service on the
+// fresh stream. It gives up after attempts consecutive failed redials
+// (each successful reconnect resets the budget) and returns the last
+// error; an orderly close (io.EOF) returns io.EOF immediately without
+// redialing.
+func ServeReconnect(conn *Conn, h Handler, attempts int, backoff time.Duration) error {
+	if attempts <= 0 {
+		attempts = 3
+	}
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		err := Serve(conn, h)
+		if err == io.EOF {
+			return io.EOF
+		}
+		reErr := err
+		recovered := false
+		for i := 0; i < attempts; i++ {
+			time.Sleep(backoff << uint(i))
+			if reErr = conn.Reconnect(); reErr == nil {
+				recovered = true
+				break
+			}
+		}
+		if !recovered {
+			return fmt.Errorf("openflow: serve failed (%v) and reconnect exhausted: %w", err, reErr)
+		}
 	}
 }

@@ -46,6 +46,25 @@ const (
 	// the TOR DE's offload/demote decisions and rate-limit splits back
 	// to local controllers (§4.3.2).
 	TypeOffloadDecision
+	// TypeError reports that a prior request (by xid) failed at the
+	// data-plane element — e.g. a FLOW_MOD rejected by a full or faulty
+	// TCAM. Mirrors OpenFlow's OFPT_ERROR.
+	TypeError
+	// TypeRuleSync carries the TOR DE's full desired offload set to a
+	// local controller — the anti-entropy complement to incremental
+	// OffloadDecision diffs: a receiver reconciles its placer state
+	// against it, so any number of lost decisions self-heal.
+	TypeRuleSync
+	// TypeSyncAck acknowledges a RuleSync after the local controller has
+	// programmed its placers; the TOR controller gates hardware rule
+	// removal on it so no placer still steers a flow at a rule being
+	// deleted.
+	TypeSyncAck
+	// TypeTableRequest asks a switch agent for its installed rule table.
+	TypeTableRequest
+	// TypeTableReply reports the switch's installed rules — the
+	// "reported hardware state" reconciliation diffs against.
+	TypeTableReply
 )
 
 func (t MsgType) String() string {
@@ -70,6 +89,16 @@ func (t MsgType) String() string {
 		return "DEMAND_REPORT"
 	case TypeOffloadDecision:
 		return "OFFLOAD_DECISION"
+	case TypeError:
+		return "ERROR"
+	case TypeRuleSync:
+		return "RULE_SYNC"
+	case TypeSyncAck:
+		return "SYNC_ACK"
+	case TypeTableRequest:
+		return "TABLE_REQUEST"
+	case TypeTableReply:
+		return "TABLE_REPLY"
 	default:
 		return fmt.Sprintf("UNKNOWN(%d)", uint8(t))
 	}
@@ -448,6 +477,140 @@ func (m *OffloadDecision) unmarshalBody(r *reader) error {
 	return r.err
 }
 
+// Error codes carried by ErrorMsg.
+const (
+	// ErrCodeTableFull: the hardware rule table has no free entries.
+	ErrCodeTableFull uint16 = 1
+	// ErrCodeRejected: the hardware rejected the operation (transient or
+	// permanent fault).
+	ErrCodeRejected uint16 = 2
+)
+
+// ErrorMsg reports a failed request; its xid echoes the failing request's.
+type ErrorMsg struct {
+	Code uint16
+}
+
+// Type implements Message.
+func (*ErrorMsg) Type() MsgType           { return TypeError }
+func (m *ErrorMsg) marshalBody(b *buffer) { b.u16(m.Code) }
+func (m *ErrorMsg) unmarshalBody(r *reader) error {
+	m.Code = r.u16()
+	return r.err
+}
+
+// RuleSync is the TOR controller's full desired offload set, sequenced so
+// receivers and the sender agree on which state an ack covers. Stale or
+// duplicate syncs (Seq ≤ last applied) are applied idempotently.
+type RuleSync struct {
+	Seq      uint32
+	Patterns []rules.Pattern
+}
+
+// Type implements Message.
+func (*RuleSync) Type() MsgType { return TypeRuleSync }
+
+func (m *RuleSync) marshalBody(b *buffer) {
+	b.u32(m.Seq)
+	b.u32(uint32(len(m.Patterns)))
+	for _, p := range m.Patterns {
+		marshalPattern(b, p)
+	}
+}
+
+func (m *RuleSync) unmarshalBody(r *reader) error {
+	m.Seq = r.u32()
+	n := r.u32()
+	if uint64(n)*20 > uint64(r.remaining()) {
+		return fmt.Errorf("openflow: rule sync claims %d patterns beyond body", n)
+	}
+	if n > 0 {
+		m.Patterns = make([]rules.Pattern, n)
+	}
+	for i := range m.Patterns {
+		m.Patterns[i] = unmarshalPattern(r)
+	}
+	return r.err
+}
+
+// SyncAck confirms a RuleSync was applied by the given server.
+type SyncAck struct {
+	ServerID uint32
+	Seq      uint32
+}
+
+// Type implements Message.
+func (*SyncAck) Type() MsgType { return TypeSyncAck }
+
+func (m *SyncAck) marshalBody(b *buffer) {
+	b.u32(m.ServerID)
+	b.u32(m.Seq)
+}
+
+func (m *SyncAck) unmarshalBody(r *reader) error {
+	m.ServerID = r.u32()
+	m.Seq = r.u32()
+	return r.err
+}
+
+// TableRequest asks a switch agent for its installed rules.
+type TableRequest struct{}
+
+// Type implements Message.
+func (*TableRequest) Type() MsgType               { return TypeTableRequest }
+func (*TableRequest) marshalBody(*buffer)         {}
+func (*TableRequest) unmarshalBody(*reader) error { return nil }
+
+// TableRule is one installed hardware rule in a TableReply.
+type TableRule struct {
+	Pattern  rules.Pattern
+	Priority uint16
+	Queue    uint8
+}
+
+// MaxTableRules bounds a TableReply to the 64 KiB frame (each rule is 23
+// wire bytes). Larger tables are truncated; reconciliation against a
+// truncated view is conservative — missing desired entries are simply
+// re-asserted idempotently on a later round.
+const MaxTableRules = 2800
+
+// TableReply reports the switch's installed rules.
+type TableReply struct {
+	Rules []TableRule
+}
+
+// Type implements Message.
+func (*TableReply) Type() MsgType { return TypeTableReply }
+
+func (m *TableReply) marshalBody(b *buffer) {
+	rs := m.Rules
+	if len(rs) > MaxTableRules {
+		rs = rs[:MaxTableRules]
+	}
+	b.u32(uint32(len(rs)))
+	for _, e := range rs {
+		marshalPattern(b, e.Pattern)
+		b.u16(e.Priority)
+		b.u8(e.Queue)
+	}
+}
+
+func (m *TableReply) unmarshalBody(r *reader) error {
+	n := r.u32()
+	if uint64(n)*23 > uint64(r.remaining()) {
+		return fmt.Errorf("openflow: table reply claims %d rules beyond body", n)
+	}
+	if n > 0 {
+		m.Rules = make([]TableRule, n)
+	}
+	for i := range m.Rules {
+		m.Rules[i].Pattern = unmarshalPattern(r)
+		m.Rules[i].Priority = r.u16()
+		m.Rules[i].Queue = r.u8()
+	}
+	return r.err
+}
+
 // ---- encoding primitives ----
 
 type buffer struct{ b []byte }
@@ -666,6 +829,16 @@ func newMessage(t MsgType) (Message, error) {
 		return &DemandReport{}, nil
 	case TypeOffloadDecision:
 		return &OffloadDecision{}, nil
+	case TypeError:
+		return &ErrorMsg{}, nil
+	case TypeRuleSync:
+		return &RuleSync{}, nil
+	case TypeSyncAck:
+		return &SyncAck{}, nil
+	case TypeTableRequest:
+		return &TableRequest{}, nil
+	case TypeTableReply:
+		return &TableReply{}, nil
 	default:
 		return nil, fmt.Errorf("openflow: unknown message type %d", t)
 	}

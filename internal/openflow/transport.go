@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/sim"
@@ -12,15 +13,28 @@ import (
 // path as Conn, without goroutines, so simulations stay reproducible.
 //
 // A Transport is one direction; a control connection is a pair.
+//
+// Fault injection (internal/faults): a transport can be taken down (all
+// messages silently lost, as on a dropped OpenFlow TCP connection),
+// subjected to probabilistic message loss, or given extra delivery delay.
+// Consumers must tolerate all three — see internal/core's retry,
+// barrier-confirmation and anti-entropy machinery.
 type Transport struct {
 	eng   *sim.Engine
 	delay time.Duration
 	peer  Handler
 	// Sent counts messages, and SentBytes wire bytes, for the
-	// controller-overhead experiment (§6.2.2).
+	// controller-overhead experiment (§6.2.2). Sent counts attempts;
+	// Dropped counts the subset lost to injected faults.
 	Sent      uint64
 	SentBytes uint64
+	Dropped   uint64
 	nextXID   uint32
+
+	down     bool
+	lossProb float64
+	lossRng  *rand.Rand
+	extra    time.Duration
 }
 
 // NewTransport builds a channel delivering to peer after delay.
@@ -30,6 +44,32 @@ func NewTransport(eng *sim.Engine, delay time.Duration, peer Handler) *Transport
 
 // SetPeer rewires the receiving handler (topology assembly).
 func (t *Transport) SetPeer(peer Handler) { t.peer = peer }
+
+// SetDown severs (down=true) or restores (down=false) the channel.
+// While down every message is dropped — the deterministic analogue of a
+// broken control connection. Messages already in flight still arrive
+// (they are on the wire).
+func (t *Transport) SetDown(down bool) { t.down = down }
+
+// SetLoss installs probabilistic message loss with the given probability,
+// drawn from rng (seed it for reproducible runs). prob <= 0 or nil rng
+// clears loss.
+func (t *Transport) SetLoss(prob float64, rng *rand.Rand) {
+	if prob <= 0 || rng == nil {
+		t.lossProb, t.lossRng = 0, nil
+		return
+	}
+	t.lossProb, t.lossRng = prob, rng
+}
+
+// SetExtraDelay adds d on top of the configured control delay for
+// subsequent messages (injected congestion on the control network).
+func (t *Transport) SetExtraDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.extra = d
+}
 
 // Send encodes msg, schedules delivery, and returns its xid.
 func (t *Transport) Send(msg Message) uint32 {
@@ -46,7 +86,11 @@ func (t *Transport) send(msg Message, xid uint32) {
 	wire := Encode(msg, xid)
 	t.Sent++
 	t.SentBytes += uint64(len(wire))
-	t.eng.After(t.delay, func() {
+	if t.down || (t.lossRng != nil && t.lossRng.Float64() < t.lossProb) {
+		t.Dropped++
+		return
+	}
+	t.eng.After(t.delay+t.extra, func() {
 		if t.peer == nil {
 			return
 		}

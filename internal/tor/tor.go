@@ -78,6 +78,12 @@ type TOR struct {
 	unrouted   uint64
 	greRx      uint64
 	greTx      uint64
+
+	// installFault, when set, is consulted before every hardware rule
+	// install; a non-nil error rejects the install (fault injection —
+	// a misbehaving or exhausted TCAM controller).
+	installFault   func() error
+	installRejects uint64
 }
 
 // New builds a ToR with the given loopback address, TCAM capacity, and
@@ -175,10 +181,28 @@ func (t *TOR) RemoveVRFTunnel(tenant packet.TenantID, vmIP packet.IP) {
 	}
 }
 
+// SetInstallFault registers a hook consulted by InstallACL before the
+// TCAM is touched; a non-nil error rejects the install without side
+// effects. nil clears the hook. The fault injector uses this to model
+// transient and permanent hardware rule-install rejections.
+func (t *TOR) SetInstallFault(f func() error) { t.installFault = f }
+
+// InstallRejects returns how many installs the fault hook rejected.
+func (t *TOR) InstallRejects() uint64 { return t.installRejects }
+
 // InstallACL places an explicit-allow (or deny) rule in the shared TCAM,
 // failing with rules.ErrTCAMFull when hardware memory is exhausted — the
-// budget the TOR DE plans against (§4.3.1).
-func (t *TOR) InstallACL(e *rules.TCAMEntry) error { return t.tcam.Insert(e) }
+// budget the TOR DE plans against (§4.3.1) — or with the injected fault's
+// error when the install hook rejects it.
+func (t *TOR) InstallACL(e *rules.TCAMEntry) error {
+	if t.installFault != nil {
+		if err := t.installFault(); err != nil {
+			t.installRejects++
+			return err
+		}
+	}
+	return t.tcam.Insert(e)
+}
 
 // RemoveACL deletes rules with the exact pattern, freeing TCAM space.
 func (t *TOR) RemoveACL(p rules.Pattern) int { return t.tcam.Remove(p) }
@@ -195,6 +219,23 @@ type ACLStats struct {
 	Pattern rules.Pattern
 	Packets uint64
 	Bytes   uint64
+}
+
+// RuleInfo describes one installed hardware rule — the switch agent's
+// TableReply payload and reconciliation's "reported hardware state".
+type RuleInfo struct {
+	Pattern  rules.Pattern
+	Priority int
+	Queue    int
+}
+
+// Rules lists the installed TCAM rules.
+func (t *TOR) Rules() []RuleInfo {
+	var out []RuleInfo
+	t.tcam.Entries(func(e *rules.TCAMEntry) {
+		out = append(out, RuleInfo{Pattern: e.Pattern, Priority: e.Priority, Queue: e.Queue})
+	})
+	return out
 }
 
 // Stats returns current TCAM entry counters.
