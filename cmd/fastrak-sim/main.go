@@ -17,6 +17,11 @@
 // or the literal "random" for a seeded random plan over every registered
 // fault surface (links, control channels, TCAMs, TOR controllers).
 // -fault-seed drives the injector's randomness independently of -seed.
+//
+// The -overload flag instead runs the canned slow-path overload scenario
+// (experiments.RunOverload): a storming tenant floods the upcall path
+// beside a well-behaved victim while the stats channel degrades, and the
+// run reports isolation, drop accounting and convergence.
 package main
 
 import (
@@ -26,8 +31,10 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/host"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 )
 
@@ -42,7 +49,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultSpec := flag.String("faults", "", "fault plan DSL, or \"random\" for a seeded random plan")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
+	overload := flag.Bool("overload", false, "run the canned slow-path overload scenario instead of the rack workload")
 	flag.Parse()
+
+	if *overload {
+		runOverload(*seed, *faultSeed, *duration)
+		return
+	}
 
 	opts := fastrak.Options{
 		Servers:      *servers,
@@ -140,6 +153,22 @@ func main() {
 	msgs, bytes, samples := d.Manager.ControlStats()
 	fmt.Printf("\ncontrol plane: %d messages, %d bytes, %d datapath samples\n", msgs, bytes, samples)
 
+	// Slow-path health: unified drop accounting and overload-detector
+	// activity summed over every server's vswitch.
+	var drops metrics.DropCounters
+	var upcalls, served, entered, recovered uint64
+	for _, srv := range d.Cluster.Servers {
+		tel := srv.VSwitch.Counters()
+		drops = drops.Add(tel.Drops)
+		upcalls += tel.Upcalls
+		served += tel.UpcallsServed
+		e, r := srv.VSwitch.OverloadEvents()
+		entered += e
+		recovered += r
+	}
+	fmt.Printf("slow path: %d upcalls, %d served, drops %v, overload entered=%d recovered=%d\n",
+		upcalls, served, drops, entered, recovered)
+
 	if inj != nil {
 		fmt.Println("\nfault log:")
 		for _, line := range inj.Log() {
@@ -160,4 +189,35 @@ func main() {
 		fmt.Printf("recovery: %d install retries, %d give-ups, %d reconcile repairs, %d orphan removals, %d controller crashes, %d control messages dropped\n",
 			retries, giveups, repairs, orphans, crashes, dropped)
 	}
+}
+
+// runOverload drives the canned slow-path overload scenario and prints
+// its invariants and event log.
+func runOverload(seed, faultSeed int64, duration time.Duration) {
+	res, err := experiments.RunOverload(experiments.OverloadConfig{
+		Seed: seed, FaultSeed: faultSeed, Horizon: duration,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastrak-sim: overload scenario: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("event log:")
+	for _, line := range res.Log {
+		fmt.Println("  ", line)
+	}
+	fmt.Println("\nper-tenant slow-path accounting (storming server):")
+	for _, tu := range res.PerTenant {
+		fmt.Printf("  tenant %-3d arrived=%-7d served=%-7d qdrop=%-6d clamp=%-6d residual=%d\n",
+			tu.Tenant, tu.Arrived, tu.Served, tu.QueueDrops, tu.ClampDrops, tu.Residual)
+	}
+	fmt.Printf("\nvictim: served fraction %.3f, clamp drops %d\n", res.VictimServedFraction, res.VictimClampDrops)
+	fmt.Printf("overload detector: entered %d, recovered %d; hints sent %d, received %d\n",
+		res.OverloadsEntered, res.OverloadsRecovered, res.HintsSent, res.HintsReceived)
+	fmt.Printf("stats path: %d reports lost, %d delayed, %d interval gaps seen at the TOR\n",
+		res.ReportsLost, res.ReportsDelayed, res.StatsGaps)
+	fmt.Printf("decisions: installs %d→%d, demotes %d→%d, flaps %d→%d (settle→horizon), %d suppressed\n",
+		res.InstallsAtSettle, res.InstallsEnd, res.DemotesAtSettle, res.DemotesEnd,
+		res.FlapsAtSettle, res.FlapsEnd, res.Suppressions)
+	fmt.Printf("storm offloaded mid-storm: %v; converged after faults cleared: %v\n",
+		res.StormOffloaded, res.Converged())
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/decision"
 	"repro/internal/faults"
 	"repro/internal/measure"
 	"repro/internal/openflow"
@@ -67,6 +68,14 @@ type Config struct {
 	// removing its hardware ACL, covering placer reprogramming and
 	// express-lane packets already in flight (default 4×ControlDelay).
 	DemoteGrace time.Duration
+
+	// Damper configures BGP-style flap damping of offload-state
+	// transitions, layered on HysteresisRatio (zero value = defaults; see
+	// internal/decision/damper.go).
+	Damper decision.DamperConfig
+	// Smoother configures staleness-aware smoothing of offload
+	// candidates across control intervals (zero value = defaults).
+	Smoother decision.SmootherConfig
 }
 
 // DefaultConfig returns the prototype's settings (§5.2) with a fast
@@ -160,9 +169,12 @@ func Attach(c *cluster.Cluster, cfg Config) *Manager {
 // TOR controller, "torctl<r>-switch" is rack r's controller↔switch-agent
 // connection, table "tor<r>" is rack r's TCAM install path, and
 // controller "torctl<r>" is rack r's crashable TOR controller process.
+// Each server's measurement engine is additionally registered as stats
+// tap "stats<i>" so plans can lose or delay its demand reports.
 func (m *Manager) RegisterFaults(inj *faults.Injector) {
 	for i, lc := range m.Locals {
 		inj.RegisterChannel(fmt.Sprintf("local%d-tor", i), lc.toTOR, lc.fromTOR)
+		inj.RegisterStatsTap(fmt.Sprintf("stats%d", i), lc.me)
 	}
 	for r, tc := range m.TORCtls {
 		inj.RegisterChannel(fmt.Sprintf("torctl%d-switch", r), tc.toSwitch, tc.fromSwitch)

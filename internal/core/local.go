@@ -41,6 +41,8 @@ type LocalController struct {
 
 	// FlowMods counts placer programming operations (controller cost).
 	FlowMods uint64
+	// Hints counts overload-signal transitions forwarded to the TOR DE.
+	Hints uint64
 }
 
 func newLocalController(m *Manager, srv *host.Server) *LocalController {
@@ -54,7 +56,32 @@ func newLocalController(m *Manager, srv *host.Server) *LocalController {
 	lc.me = measure.New(m.Cluster.Eng, m.Cfg.Measure, lc.readDatapath)
 	lc.me.ServerID = uint32(srv.ID)
 	lc.me.OnReport = lc.sendReport
+	// Degradation signal path: the vswitch's slow-path overload detector
+	// reports state transitions; the local controller forwards them to
+	// the TOR DE as OverloadHints so the emergency offload does not wait
+	// for the next demand-report cycle.
+	srv.VSwitch.OnOverload = lc.onOverload
 	return lc
+}
+
+// onOverload forwards a slow-path overload transition out of band. The
+// hint names the dominant tenant so the DE can boost exactly the
+// aggregates whose misses are burning the host CPUs (§4.2 motivates
+// offload as the relief valve for vswitch overload).
+func (lc *LocalController) onOverload(sig vswitch.OverloadSignal) {
+	lc.Hints++
+	lc.toTOR.Send(&openflow.OverloadHint{
+		ServerID:   uint32(lc.server.ID),
+		Tenant:     sig.Offender,
+		Overloaded: sig.Overloaded,
+		MissPPS:    sig.MissPPS,
+	})
+}
+
+// MEFaultStats reports how many demand reports the stats fault surface
+// dropped or delayed on this server's measurement path.
+func (lc *LocalController) MEFaultStats() (lost, delayed uint64) {
+	return lc.me.ReportsLost, lc.me.ReportsDelayed
 }
 
 func (lc *LocalController) start() { lc.me.Start() }

@@ -29,6 +29,25 @@ const (
 	reconcileTicks   = 4
 )
 
+// urgentBoost multiplies the tenant preference c of a tenant flagged by an
+// OverloadHint: its aggregates jump the score ordering so the miss storm
+// moves to hardware ahead of merely-busy flows. The boost expires after
+// urgentTTLIntervals control intervals without a refreshed hint — hints
+// are advisory and must not pin priority forever if the recovery signal
+// is lost.
+const (
+	urgentBoost        = 8.0
+	urgentTTLIntervals = 4
+)
+
+// staleIntervals is how many control intervals a server's stats path may
+// stay silent before its cached demand report is excluded from decisions.
+// Excluded candidates are not dropped to zero: the decision smoother
+// carries them on a decaying estimate (see internal/decision/damper.go),
+// so one lost report cannot demote a hot flow, while a genuinely dead
+// reporter fades out within a few intervals.
+const staleIntervals = 2
+
 // installState tracks one in-flight hardware install: the FlowMod has
 // been sent to the switch agent but the barrier confirming it has not
 // come back. Placers are NOT redirected until confirmation — an express
@@ -91,6 +110,23 @@ type TORController struct {
 	fromSwitch *openflow.Transport
 
 	reports map[uint32]openflow.DemandReport
+	// lastInterval and lastReportAt track each server's report stream
+	// for gap and staleness detection: skipped interval sequence numbers
+	// are counted in StatsGaps, and a server silent for staleIntervals
+	// control intervals has its cached report excluded from decisions.
+	lastInterval map[uint32]uint32
+	lastReportAt map[uint32]sim.Time
+
+	// smoother carries per-candidate EWMA estimates across intervals and
+	// synthesizes decaying candidates for patterns whose stats went
+	// missing; damper vetoes offload/demote flapping with BGP-style
+	// penalty decay. Both are volatile (reset on Crash).
+	smoother *decision.Smoother
+	damper   *decision.FlapDamper
+
+	// urgent maps tenants flagged by OverloadHints to the sim time their
+	// priority boost expires.
+	urgent map[packet.TenantID]sim.Time
 
 	// offloaded holds barrier-confirmed hardware patterns — the set
 	// announced to placers.
@@ -156,6 +192,13 @@ type TORController struct {
 	Orphans uint64
 	// Crashes counts Crash() invocations.
 	Crashes uint64
+	// Demotes counts confirmed patterns entering the removal path.
+	Demotes uint64
+	// StatsGaps counts skipped demand-report interval sequence numbers —
+	// reports the stats fault surface (or a congested control path) ate.
+	StatsGaps uint64
+	// Hints counts OverloadHints received from local controllers.
+	Hints uint64
 }
 
 func newTORController(m *Manager, t *tor.TOR) *TORController {
@@ -163,6 +206,11 @@ func newTORController(m *Manager, t *tor.TOR) *TORController {
 		mgr:            m,
 		tor:            t,
 		reports:        make(map[uint32]openflow.DemandReport),
+		lastInterval:   make(map[uint32]uint32),
+		lastReportAt:   make(map[uint32]sim.Time),
+		smoother:       decision.NewSmoother(m.Cfg.Smoother),
+		damper:         decision.NewFlapDamper(m.Cfg.Damper),
+		urgent:         make(map[packet.TenantID]sim.Time),
 		offloaded:      make(map[rules.Pattern]bool),
 		installing:     make(map[rules.Pattern]*installState),
 		removing:       make(map[rules.Pattern]*removeState),
@@ -227,6 +275,11 @@ func (tc *TORController) Crash() {
 		}
 	}
 	tc.reports = make(map[uint32]openflow.DemandReport)
+	tc.lastInterval = make(map[uint32]uint32)
+	tc.lastReportAt = make(map[uint32]sim.Time)
+	tc.smoother = decision.NewSmoother(tc.mgr.Cfg.Smoother)
+	tc.damper = decision.NewFlapDamper(tc.mgr.Cfg.Damper)
+	tc.urgent = make(map[packet.TenantID]sim.Time)
 	tc.offloaded = make(map[rules.Pattern]bool)
 	tc.installing = make(map[rules.Pattern]*installState)
 	tc.removing = make(map[rules.Pattern]*removeState)
@@ -282,9 +335,30 @@ func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply o
 			cur.Entries = append(cur.Entries, m.Entries...)
 			tc.reports[m.ServerID] = cur
 		} else {
+			// Gap detection: interval sequence numbers that never arrived
+			// mean lost (or badly delayed) reports on this server's stats
+			// path. The count is diagnostic; the smoother handles the
+			// estimation side.
+			if last, ok := tc.lastInterval[m.ServerID]; ok && m.Interval > last+1 {
+				tc.StatsGaps += uint64(m.Interval - last - 1)
+			}
 			tc.reports[m.ServerID] = *m
 		}
+		if m.Interval > tc.lastInterval[m.ServerID] {
+			tc.lastInterval[m.ServerID] = m.Interval
+		}
+		tc.lastReportAt[m.ServerID] = tc.mgr.Cluster.Eng.Now()
 		tc.applySplits(m.Splits)
+	case *openflow.OverloadHint:
+		tc.Hints++
+		if m.Overloaded && m.Tenant != 0 {
+			// Boost the offending tenant for a bounded spell; a lost
+			// recovery hint must not pin the boost forever.
+			tc.urgent[m.Tenant] = tc.mgr.Cluster.Eng.Now() +
+				sim.Time(urgentTTLIntervals)*tc.controlInterval()
+		} else if !m.Overloaded && m.Tenant != 0 {
+			delete(tc.urgent, m.Tenant)
+		}
 	case *openflow.SyncAck:
 		if m.Seq > tc.ackedSeq[m.ServerID] {
 			tc.ackedSeq[m.ServerID] = m.Seq
@@ -358,7 +432,15 @@ func (tc *TORController) tick() {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	staleAfter := sim.Time(staleIntervals) * tc.controlInterval()
 	for _, id := range ids {
+		// A server silent past the staleness bound has a dead or
+		// partitioned stats path; acting on its frozen report would make
+		// decisions from arbitrarily old data. Excluding it here hands
+		// its candidates to the smoother, which decays them gracefully.
+		if at, ok := tc.lastReportAt[id]; ok && eng.Now()-at > staleAfter {
+			continue
+		}
 		reports = append(reports, tc.reports[id])
 	}
 
@@ -373,13 +455,18 @@ func (tc *TORController) tick() {
 		current[p] = true
 	}
 
-	cands := decision.CandidatesFromReports(reports, hwPPS, tc.mgr.Cfg.PriorityOf)
+	cands := decision.CandidatesFromReports(reports, hwPPS, tc.priorityOf)
+	cands = tc.smoother.Advance(cands, current)
 	d := decision.Decide(decision.Config{
 		Budget:          budget,
 		MinScore:        tc.mgr.Cfg.MinScore,
 		HysteresisRatio: tc.mgr.Cfg.HysteresisRatio,
 		Groups:          tc.mgr.Cfg.Groups,
 	}, cands, current)
+	// Flap damping on top of score hysteresis: a pattern whose offload
+	// state flipped repeatedly in quick succession is pinned to its
+	// current state until the penalty decays (internal/decision/damper.go).
+	d = tc.damper.Apply(d, current, eng.Now())
 
 	var actions []openflow.OffloadAction
 	for _, p := range d.Demote {
@@ -414,6 +501,30 @@ func (tc *TORController) tick() {
 	if tc.Decisions%reconcileTicks == 0 {
 		tc.toSwitch.Send(&openflow.TableRequest{})
 	}
+}
+
+// priorityOf is the tenant preference c fed to the DE: the configured
+// multiplier, further boosted while an OverloadHint for the tenant is in
+// force. Expired boosts are dropped lazily on lookup.
+func (tc *TORController) priorityOf(t packet.TenantID) float64 {
+	p := 1.0
+	if f := tc.mgr.Cfg.PriorityOf; f != nil {
+		p = f(t)
+	}
+	if exp, ok := tc.urgent[t]; ok {
+		if tc.mgr.Cluster.Eng.Now() < exp {
+			p *= urgentBoost
+		} else {
+			delete(tc.urgent, t)
+		}
+	}
+	return p
+}
+
+// FlapStats exposes the damper's counters: penalized offload-state
+// transitions and vetoed ones.
+func (tc *TORController) FlapStats() (transitions, suppressions uint64) {
+	return tc.damper.Transitions, tc.damper.Suppressions
 }
 
 // maybePublish sends a RuleSync when the desired set changed since the
@@ -623,6 +734,7 @@ func (tc *TORController) beginRemove(p rules.Pattern) {
 	if _, ok := tc.removing[p]; ok {
 		return
 	}
+	tc.Demotes++
 	eng := tc.mgr.Cluster.Eng
 	st := &removeState{
 		// The caller publishes a RuleSync (excluding p) in this same
@@ -894,11 +1006,18 @@ func (tc *TORController) demoteVM(tenant packet.TenantID, vmIP packet.IP) {
 		return actions[i].Pattern.String() < actions[j].Pattern.String()
 	})
 	sort.Slice(aborts, func(i, j int) bool { return aborts[i].String() < aborts[j].String() })
+	now := tc.mgr.Cluster.Eng.Now()
 	for _, a := range actions {
 		tc.beginRemove(a.Pattern)
+		// Migration pull-back is a correctness path: the damper must not
+		// veto it (ForceState bypasses the penalty machinery) but its view
+		// of the pattern's state has to follow, so the re-offload at the
+		// destination is recognized as a real transition.
+		tc.damper.ForceState(a.Pattern, false, now)
 	}
 	for _, p := range aborts {
 		tc.abortInstall(p)
+		tc.damper.ForceState(p, false, now)
 	}
 	if len(actions) > 0 {
 		dec := &openflow.OffloadDecision{Actions: actions}

@@ -186,6 +186,7 @@ type fpsDemand = struct {
 	RateBps  float64
 	Flows    int
 	MaxedOut bool
+	Stale    bool
 }
 
 // Property: Decide never exceeds budget, never offloads and demotes the
@@ -268,5 +269,73 @@ func TestDecideGroupDemotedTogether(t *testing.T) {
 		if p == pat(1) || p == pat(2) {
 			t.Errorf("group member %v stayed offloaded", p)
 		}
+	}
+}
+
+// A group that no longer fits wholly within the budget — because a hotter
+// loner takes part of it — must be demoted atomically, never retained in
+// part.
+func TestDecideGroupPartialDisplacementDemotesAtomically(t *testing.T) {
+	group := []rules.Pattern{pat(1), pat(2)}
+	offloaded := map[rules.Pattern]bool{pat(1): true, pat(2): true}
+	cands := []Candidate{
+		cand(1, 8, 1000),
+		cand(2, 8, 1000),
+		cand(3, 8, 900000), // outranks the whole group on its own
+	}
+	d := Decide(Config{Budget: 2, Groups: [][]rules.Pattern{group}}, cands, offloaded)
+	// The loner wins a slot; the group needs two contiguous slots and only
+	// one remains, so both members leave hardware together.
+	if len(d.Offload) != 1 || d.Offload[0] != pat(3) {
+		t.Fatalf("offload = %v, want only the loner", d.Offload)
+	}
+	if len(d.Demote) != 2 {
+		t.Fatalf("demote = %v, want both group members", d.Demote)
+	}
+}
+
+// Hysteresis applies to groups through the sum of member scores: an
+// incumbent group holds its slots against a challenger inside the margin
+// and yields to one beyond it.
+func TestDecideGroupHysteresis(t *testing.T) {
+	group := []rules.Pattern{pat(1), pat(2)}
+	offloaded := map[rules.Pattern]bool{pat(1): true, pat(2): true}
+	cands := []Candidate{
+		cand(1, 4, 1000),
+		cand(2, 4, 1000),
+		cand(3, 4, 2200), // beats the raw group sum (2000) but not ×1.5
+	}
+	cfg := Config{Budget: 2, HysteresisRatio: 1.5, Groups: [][]rules.Pattern{group}}
+	d := Decide(cfg, cands, offloaded)
+	if len(d.Demote) != 0 {
+		t.Errorf("in-margin challenger displaced the group: demote = %v", d.Demote)
+	}
+	// Beyond the margin the group yields — atomically.
+	cands[2].MedianPPS = 4000
+	d = Decide(cfg, cands, offloaded)
+	if len(d.Offload) != 1 || d.Offload[0] != pat(3) {
+		t.Errorf("strong challenger lost: offload = %v", d.Offload)
+	}
+	if len(d.Demote) != 2 {
+		t.Errorf("demote = %v, want both group members", d.Demote)
+	}
+}
+
+// HysteresisRatio below 1 would turn the incumbent bonus into a penalty —
+// a slightly weaker challenger could evict a hotter incumbent every
+// interval, the exact thrashing hysteresis exists to prevent. The config
+// must normalize it to 1 (no hysteresis, never anti-hysteresis).
+func TestDecideHysteresisRatioBelowOneBehavesAsOne(t *testing.T) {
+	offloaded := map[rules.Pattern]bool{pat(1): true}
+	cands := []Candidate{
+		cand(1, 4, 1000), // incumbent, hotter
+		cand(2, 4, 900),  // challenger, cooler
+	}
+	d := Decide(Config{Budget: 1, HysteresisRatio: 0.25}, cands, offloaded)
+	if len(d.Offload) != 1 || d.Offload[0] != pat(1) {
+		t.Errorf("ratio<1 penalized the incumbent: offload = %v", d.Offload)
+	}
+	if len(d.Demote) != 0 {
+		t.Errorf("hotter incumbent demoted: %v", d.Demote)
 	}
 }

@@ -58,7 +58,12 @@ type ChaosResult struct {
 	LinkDownDrops  uint64
 	LinkLossDrops  uint64
 	ShapeDrops     uint64 // vswitch htb rate enforcement
-	RateDrops      uint64 // ToR VF rate enforcement
+	// UpcallQueueDrops and ClampDrops are the vswitch slow path's
+	// overload-protection causes (bounded upcall queues, miss-rate clamp);
+	// zero in this scenario's plans but part of conservation regardless.
+	UpcallQueueDrops uint64
+	ClampDrops       uint64
+	RateDrops        uint64 // ToR VF rate enforcement
 	// BlackholeDrops sums every rule-divergence counter: hardware ACL
 	// misses, missing VRF mappings, ToR/vswitch unrouted, VF steering
 	// misses and software denials. Must be zero.
@@ -310,17 +315,20 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	res.RateDrops = rateDrops
 	var denied, swUnrouted, steerMiss uint64
 	for _, srv := range c.Servers {
-		_, _, _, d, u := srv.VSwitch.Counters()
-		denied += d
-		swUnrouted += u
-		res.ShapeDrops += srv.VSwitch.ShapeDrops()
+		tel := srv.VSwitch.Counters()
+		denied += tel.Denied
+		swUnrouted += tel.Unrouted
+		res.ShapeDrops += tel.Drops.Shape
+		res.UpcallQueueDrops += tel.Drops.UpcallQueue
+		res.ClampDrops += tel.Drops.Clamp
 		_, _, _, _, sm := srv.NIC.Counters()
 		steerMiss += sm
 	}
 	res.BlackholeDrops = aclDrops + noVRF + torUnrouted + denied + swUnrouted + steerMiss
 	res.Unaccounted = int64(res.Sent) - int64(res.Delivered) -
 		int64(res.LinkQueueDrops+res.LinkDownDrops+res.LinkLossDrops) -
-		int64(res.ShapeDrops+res.RateDrops) - int64(res.BlackholeDrops)
+		int64(res.ShapeDrops+res.UpcallQueueDrops+res.ClampDrops+res.RateDrops) -
+		int64(res.BlackholeDrops)
 
 	tc := mgr.TORCtl
 	res.InstallRejects = c.TOR.InstallRejects()

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// runOverloadOnce memoizes one run so the property tests don't each pay
+// for a full simulation.
+var overloadResult *OverloadResult
+
+func overloadRun(t *testing.T) OverloadResult {
+	t.Helper()
+	if overloadResult == nil {
+		res, err := RunOverload(OverloadConfig{Seed: 11, FaultSeed: 23})
+		if err != nil {
+			t.Fatalf("RunOverload: %v", err)
+		}
+		overloadResult = &res
+	}
+	return *overloadResult
+}
+
+// Property 1: the victim tenant keeps its fair share of the slow path and
+// is never clamped — damage is confined to the offender.
+func TestOverloadVictimIsolation(t *testing.T) {
+	res := overloadRun(t)
+	if res.VictimServedFraction < 0.9 {
+		t.Errorf("victim served fraction = %.3f, want >= 0.9\nlog tail:\n%s",
+			res.VictimServedFraction, tailLog(res.Log, 12))
+	}
+	if res.VictimClampDrops != 0 {
+		t.Errorf("victim took %d clamp drops; clamping must target the offender only", res.VictimClampDrops)
+	}
+}
+
+// Property 2: exact drop accounting — at quiescence every upcall that
+// arrived was served, queue-dropped or clamp-dropped.
+func TestOverloadExactAccounting(t *testing.T) {
+	res := overloadRun(t)
+	if len(res.PerTenant) == 0 {
+		t.Fatal("no per-tenant accounting")
+	}
+	for _, tu := range res.PerTenant {
+		if tu.Residual != 0 {
+			t.Errorf("tenant %d: arrived=%d served=%d qdrop=%d clamp=%d residual=%d",
+				tu.Tenant, tu.Arrived, tu.Served, tu.QueueDrops, tu.ClampDrops, tu.Residual)
+		}
+	}
+}
+
+// Property 3: after the storm and the stats faults clear, the decision
+// machinery converges — no install, demote or flap transition past the
+// settle point.
+func TestOverloadConvergence(t *testing.T) {
+	res := overloadRun(t)
+	if !res.Converged() {
+		t.Errorf("did not converge: installs %d→%d demotes %d→%d flaps %d→%d\nlog tail:\n%s",
+			res.InstallsAtSettle, res.InstallsEnd,
+			res.DemotesAtSettle, res.DemotesEnd,
+			res.FlapsAtSettle, res.FlapsEnd, tailLog(res.Log, 12))
+	}
+}
+
+// The protection machinery must actually have fired during the run —
+// otherwise the isolation result is vacuous.
+func TestOverloadMachineryEngaged(t *testing.T) {
+	res := overloadRun(t)
+	if res.OverloadsEntered == 0 {
+		t.Error("overload detector never triggered")
+	}
+	if res.OverloadsRecovered == 0 {
+		t.Error("overload detector never recovered")
+	}
+	if res.StormClampDrops == 0 {
+		t.Error("offender clamp never dropped a packet")
+	}
+	if res.HintsReceived == 0 {
+		t.Error("TOR never received an OverloadHint")
+	}
+	if !res.StormOffloaded {
+		t.Errorf("storm tenant aggregates were not offloaded mid-storm\nlog tail:\n%s", tailLog(res.Log, 16))
+	}
+	if res.ReportsLost == 0 {
+		t.Error("stats-loss surface never dropped a report")
+	}
+	if res.ReportsDelayed == 0 {
+		t.Error("stats-delay surface never delayed a report")
+	}
+}
+
+// Property 4: equal seeds give byte-identical event logs.
+func TestOverloadDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
+	cfg := OverloadConfig{Seed: 11, FaultSeed: 23}
+	a, err := RunOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Log) != len(b.Log) {
+		t.Fatalf("log lengths differ: %d vs %d", len(a.Log), len(b.Log))
+	}
+	for i := range a.Log {
+		if a.Log[i] != b.Log[i] {
+			t.Fatalf("logs diverge at line %d:\n  %s\n  %s", i, a.Log[i], b.Log[i])
+		}
+	}
+	if a.PerTenant == nil || len(a.PerTenant) != len(b.PerTenant) {
+		t.Fatal("per-tenant accounting differs in shape")
+	}
+	for i := range a.PerTenant {
+		if a.PerTenant[i] != b.PerTenant[i] {
+			t.Errorf("per-tenant accounting diverges: %+v vs %+v", a.PerTenant[i], b.PerTenant[i])
+		}
+	}
+}
+
+func tailLog(log []string, n int) string {
+	if len(log) > n {
+		log = log[len(log)-n:]
+	}
+	s := ""
+	for _, l := range log {
+		s += l + "\n"
+	}
+	return s
+}

@@ -61,6 +61,15 @@ const (
 	// ControllerCrash crashes a controller at At and restarts it after
 	// Duration (0 = it stays down).
 	ControllerCrash
+	// MissStorm drives a registered storm source at Rate new-flow misses
+	// per second for Duration — the slow-path overload adversary.
+	MissStorm
+	// StatsLoss drops each stats report from a measurement engine with
+	// probability Prob for Duration.
+	StatsLoss
+	// StatsDelay defers each stats report from a measurement engine by
+	// Delay for Duration.
+	StatsDelay
 )
 
 func (k Kind) String() string {
@@ -81,6 +90,12 @@ func (k Kind) String() string {
 		return "tcamreject"
 	case ControllerCrash:
 		return "crash"
+	case MissStorm:
+		return "storm"
+	case StatsLoss:
+		return "statsloss"
+	case StatsDelay:
+		return "statsdelay"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -101,8 +116,11 @@ type Event struct {
 	Prob float64
 	// Period is the LinkFlap toggle interval (default Duration/8).
 	Period time.Duration
-	// Delay is the ChannelDelay extra latency.
+	// Delay is the ChannelDelay (or StatsDelay) extra latency.
 	Delay time.Duration
+	// Rate is the MissStorm intensity in new-flow misses per second
+	// (default 10000).
+	Rate float64
 	// Seed derives the event's private RNG for probabilistic kinds, so
 	// two plans differing only in one event's seed stay otherwise
 	// comparable. 0 falls back to the injector seed + event index.
@@ -143,15 +161,33 @@ type Controller interface {
 	Restart()
 }
 
+// Stormer is the fault surface of a miss-storm source: something that can
+// generate fresh-flow slow-path misses at a controlled rate (the overload
+// experiment's storm driver implements it). SetStorm(0) stops the storm.
+type Stormer interface {
+	SetStorm(pps float64)
+}
+
+// StatsTap is the fault surface of a statistics reporting path
+// (measure.Engine implements it): reports can be probabilistically lost
+// or uniformly delayed, modelling a congested or flaky control network
+// between the measurement engine and the decision engine.
+type StatsTap interface {
+	SetStatsLoss(prob float64, rng *rand.Rand)
+	SetStatsDelay(d time.Duration)
+}
+
 // Injector binds fault plans to registered targets on a sim engine.
 type Injector struct {
 	eng  *sim.Engine
 	seed int64
 
-	links  map[string]Link
-	chans  map[string][]Channel
-	tables map[string]HardwareTable
-	ctrls  map[string]Controller
+	links    map[string]Link
+	chans    map[string][]Channel
+	tables   map[string]HardwareTable
+	ctrls    map[string]Controller
+	stormers map[string]Stormer
+	stats    map[string]StatsTap
 
 	log []string
 	// Applied counts fault transitions executed.
@@ -163,12 +199,14 @@ type Injector struct {
 // fault randomness is isolated from model randomness).
 func NewInjector(eng *sim.Engine, seed int64) *Injector {
 	return &Injector{
-		eng:    eng,
-		seed:   seed,
-		links:  make(map[string]Link),
-		chans:  make(map[string][]Channel),
-		tables: make(map[string]HardwareTable),
-		ctrls:  make(map[string]Controller),
+		eng:      eng,
+		seed:     seed,
+		links:    make(map[string]Link),
+		chans:    make(map[string][]Channel),
+		tables:   make(map[string]HardwareTable),
+		ctrls:    make(map[string]Controller),
+		stormers: make(map[string]Stormer),
+		stats:    make(map[string]StatsTap),
 	}
 }
 
@@ -184,6 +222,27 @@ func (in *Injector) RegisterTable(name string, t HardwareTable) { in.tables[name
 
 // RegisterController names a crashable controller target.
 func (in *Injector) RegisterController(name string, c Controller) { in.ctrls[name] = c }
+
+// RegisterStormer names a miss-storm source target.
+func (in *Injector) RegisterStormer(name string, s Stormer) { in.stormers[name] = s }
+
+// RegisterStatsTap names a statistics reporting path target.
+func (in *Injector) RegisterStatsTap(name string, s StatsTap) { in.stats[name] = s }
+
+// ExtraTargets lists the overload-era target categories, sorted: miss-
+// storm sources and stats taps. Kept separate from Targets so existing
+// callers (and existing seeded random plans) are unchanged.
+func (in *Injector) ExtraTargets() (stormers, stats []string) {
+	for n := range in.stormers {
+		stormers = append(stormers, n)
+	}
+	for n := range in.stats {
+		stats = append(stats, n)
+	}
+	sort.Strings(stormers)
+	sort.Strings(stats)
+	return
+}
 
 // Targets lists registered target names by category, sorted — handy for
 // CLI help and for random plan generation.
@@ -249,6 +308,17 @@ func (in *Injector) validate(ev Event) error {
 	case ControllerCrash:
 		if _, ok := in.ctrls[ev.Target]; !ok {
 			return fmt.Errorf("unknown controller %q", ev.Target)
+		}
+	case MissStorm:
+		if _, ok := in.stormers[ev.Target]; !ok {
+			return fmt.Errorf("unknown stormer %q", ev.Target)
+		}
+		if ev.Rate < 0 {
+			return fmt.Errorf("negative storm rate %v", ev.Rate)
+		}
+	case StatsLoss, StatsDelay:
+		if _, ok := in.stats[ev.Target]; !ok {
+			return fmt.Errorf("unknown stats tap %q", ev.Target)
 		}
 	default:
 		return fmt.Errorf("unknown kind %d", ev.Kind)
@@ -405,6 +475,51 @@ func (in *Injector) schedule(idx int, ev Event) {
 				in.logf("controller %s restarted", ev.Target)
 			})
 		}
+	case MissStorm:
+		s := in.stormers[ev.Target]
+		rate := ev.Rate
+		if rate == 0 {
+			rate = 10000
+		}
+		in.eng.At(ev.At, func() {
+			s.SetStorm(rate)
+			in.logf("stormer %s storming at %.0f pps", ev.Target, rate)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				s.SetStorm(0)
+				in.logf("stormer %s storm cleared", ev.Target)
+			})
+		}
+	case StatsLoss:
+		s := in.stats[ev.Target]
+		prob := ev.Prob
+		if prob == 0 {
+			prob = 1
+		}
+		rng := in.rng(idx, ev)
+		in.eng.At(ev.At, func() {
+			s.SetStatsLoss(prob, rng)
+			in.logf("stats %s loss p=%.3f", ev.Target, prob)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				s.SetStatsLoss(0, nil)
+				in.logf("stats %s loss cleared", ev.Target)
+			})
+		}
+	case StatsDelay:
+		s := in.stats[ev.Target]
+		in.eng.At(ev.At, func() {
+			s.SetStatsDelay(ev.Delay)
+			in.logf("stats %s +%v delay", ev.Target, ev.Delay)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				s.SetStatsDelay(0)
+				in.logf("stats %s delay cleared", ev.Target)
+			})
+		}
 	}
 }
 
@@ -479,6 +594,12 @@ func parseEvent(clause string) (Event, error) {
 		ev.Kind = TCAMReject
 	case "crash":
 		ev.Kind = ControllerCrash
+	case "storm":
+		ev.Kind = MissStorm
+	case "statsloss":
+		ev.Kind = StatsLoss
+	case "statsdelay":
+		ev.Kind = StatsDelay
 	default:
 		return ev, fmt.Errorf("unknown kind %q", kindStr)
 	}
@@ -531,6 +652,12 @@ func parseEvent(clause string) (Event, error) {
 					return ev, fmt.Errorf("bad seed: %w", err)
 				}
 				ev.Seed = s
+			case "rate":
+				r, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return ev, fmt.Errorf("bad rate: %w", err)
+				}
+				ev.Rate = r
 			default:
 				return ev, fmt.Errorf("unknown option %q", k)
 			}
@@ -542,11 +669,16 @@ func parseEvent(clause string) (Event, error) {
 // ---- random plan generation ----
 
 // TargetSet names the registered targets a random plan may pick from.
+// Stormers and StatsTaps only widen the kind lottery when non-empty, so
+// plans drawn from the four original categories are bit-identical to what
+// earlier versions produced for the same seed.
 type TargetSet struct {
 	Links       []string
 	Channels    []string
 	Tables      []string
 	Controllers []string
+	Stormers    []string
+	StatsTaps   []string
 }
 
 // RandomPlan draws a randomized but deterministic plan from seed: a
@@ -572,10 +704,17 @@ func RandomPlan(seed int64, horizon time.Duration, ts TargetSet) Plan {
 		dur = time.Duration(rng.Int63n(int64(maxDur))) + time.Millisecond
 		return
 	}
+	kinds := 5
+	if len(ts.Stormers) > 0 {
+		kinds++
+	}
+	if len(ts.StatsTaps) > 0 {
+		kinds++
+	}
 	n := 3 + rng.Intn(4)
 	for i := 0; i < n; i++ {
 		at, dur := window()
-		switch rng.Intn(5) {
+		switch rng.Intn(kinds) {
 		case 0:
 			if t, ok := pick(ts.Links); ok {
 				plan.Events = append(plan.Events, Event{
@@ -612,6 +751,33 @@ func RandomPlan(seed int64, horizon time.Duration, ts TargetSet) Plan {
 				plan.Events = append(plan.Events, Event{
 					At: at, Kind: ControllerCrash, Target: t, Duration: dur,
 				})
+			}
+		case 5:
+			// Fifth slot is stormers when present, stats taps otherwise
+			// (kinds only reaches 6 when at least one of them is).
+			if len(ts.Stormers) > 0 {
+				if t, ok := pick(ts.Stormers); ok {
+					plan.Events = append(plan.Events, Event{
+						At: at, Kind: MissStorm, Target: t, Duration: dur,
+						Rate: 5000 + float64(rng.Intn(20000)),
+					})
+				}
+			} else if t, ok := pick(ts.StatsTaps); ok {
+				plan.Events = append(plan.Events, Event{
+					At: at, Kind: StatsLoss, Target: t, Duration: dur,
+					Prob: 0.3 + rng.Float64()*0.7, Seed: rng.Int63(),
+				})
+			}
+		case 6:
+			if t, ok := pick(ts.StatsTaps); ok {
+				ev := Event{At: at, Kind: StatsLoss, Target: t, Duration: dur,
+					Prob: 0.3 + rng.Float64()*0.7, Seed: rng.Int63()}
+				if rng.Intn(2) == 0 {
+					ev.Kind = StatsDelay
+					ev.Prob = 0
+					ev.Delay = time.Duration(1+rng.Intn(50)) * time.Millisecond
+				}
+				plan.Events = append(plan.Events, ev)
 			}
 		}
 	}

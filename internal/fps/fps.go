@@ -24,6 +24,12 @@ type Demand struct {
 	// MaxedOut reports whether the interface saturated its current
 	// limit (detected via the overflow allowance, §4.3.2).
 	MaxedOut bool
+	// Stale marks a measurement that is carried over rather than fresh:
+	// the control interval's stats report was lost or delayed, so
+	// RateBps/Flows reflect an earlier interval. The splitter holds its
+	// smoothed estimates instead of blending a stale value in — one lost
+	// report must not walk the split toward an out-of-date demand mix.
+	Stale bool
 }
 
 // Splitter computes per-interface limits that sum to (at most) the
@@ -80,8 +86,14 @@ func (s *Splitter) Adjust(sw, hw Demand) Limits {
 		s.estS, s.estH = ds, dh
 		s.init = true
 	} else {
-		s.estS = s.EWMA*s.estS + (1-s.EWMA)*ds
-		s.estH = s.EWMA*s.estH + (1-s.EWMA)*dh
+		// Stale inputs hold the estimate: blending a carried-over value
+		// would double-count the past against the present.
+		if !sw.Stale {
+			s.estS = s.EWMA*s.estS + (1-s.EWMA)*ds
+		}
+		if !hw.Stale {
+			s.estH = s.EWMA*s.estH + (1-s.EWMA)*dh
+		}
 	}
 
 	total := s.estS + s.estH

@@ -8,6 +8,7 @@
 package measure
 
 import (
+	"math/rand"
 	"sort"
 	"time"
 
@@ -95,9 +96,20 @@ type Engine struct {
 	ticker  *sim.Ticker
 	stopped bool
 
+	// Stats fault surface (faults.StatsTap): reports can be lost with a
+	// probability or delayed by a fixed amount, modelling a flaky control
+	// path between ME and DE.
+	lossProb float64
+	lossRNG  *rand.Rand
+	delay    time.Duration
+
 	// Work accounts the number of samples taken (controller-overhead
 	// experiment, §6.2.2).
 	Samples uint64
+	// ReportsLost and ReportsDelayed count reports affected by the
+	// stats fault surface.
+	ReportsLost    uint64
+	ReportsDelayed uint64
 }
 
 // New builds an engine polling src.
@@ -247,8 +259,38 @@ func (m *Engine) emitReport() {
 		}
 		rep.Entries = append(rep.Entries, e)
 	}
+	m.deliver(rep)
+}
+
+// deliver routes one outgoing report through the stats fault surface:
+// possibly dropped, possibly delayed, otherwise handed to OnReport.
+func (m *Engine) deliver(rep openflow.DemandReport) {
+	if m.lossProb > 0 && (m.lossProb >= 1 || (m.lossRNG != nil && m.lossRNG.Float64() < m.lossProb)) {
+		m.ReportsLost++
+		return
+	}
+	if m.delay > 0 {
+		m.ReportsDelayed++
+		m.eng.After(m.delay, func() {
+			if !m.stopped {
+				m.OnReport(rep)
+			}
+		})
+		return
+	}
 	m.OnReport(rep)
 }
+
+// SetStatsLoss makes each outgoing report drop with the given probability
+// (faults.StatsTap). A nil rng with prob in (0,1) never drops; prob ≥ 1
+// always drops.
+func (m *Engine) SetStatsLoss(prob float64, rng *rand.Rand) {
+	m.lossProb = prob
+	m.lossRNG = rng
+}
+
+// SetStatsDelay defers each outgoing report by d (faults.StatsTap).
+func (m *Engine) SetStatsDelay(d time.Duration) { m.delay = d }
 
 func (m *Engine) entryFor(st *flowState) openflow.DemandEntry {
 	var ppsVals, bpsVals []float64

@@ -144,6 +144,42 @@ func (a *CPUAccount) LogicalCPUs(elapsed time.Duration) float64 {
 	return a.busy.Seconds() / elapsed.Seconds()
 }
 
+// DropCounters is the testbed's unified per-cause drop accounting for a
+// software switch: every packet the vswitch intentionally discards is
+// charged to exactly one cause, so the conservation equation
+// in = delivered + Σ(cause) closes exactly — the overload experiment's
+// second invariant. Counters only ever increase.
+type DropCounters struct {
+	// Shape counts htb tail-drops: packets whose token-bucket wait would
+	// exceed the qdisc's bounded backlog.
+	Shape uint64
+	// UpcallQueue counts slow-path admission tail-drops: the packet's
+	// flow missed the fast path and its VIF's bounded upcall queue was
+	// full.
+	UpcallQueue uint64
+	// Clamp counts packets refused by the overload governor's per-VIF
+	// miss-rate clamp on a storming tenant.
+	Clamp uint64
+}
+
+// Total sums all causes.
+func (d DropCounters) Total() uint64 { return d.Shape + d.UpcallQueue + d.Clamp }
+
+// Add returns the element-wise sum — aggregating per-switch counters into
+// a cluster view.
+func (d DropCounters) Add(o DropCounters) DropCounters {
+	return DropCounters{
+		Shape:       d.Shape + o.Shape,
+		UpcallQueue: d.UpcallQueue + o.UpcallQueue,
+		Clamp:       d.Clamp + o.Clamp,
+	}
+}
+
+// String renders the counters for logs and experiment tables.
+func (d DropCounters) String() string {
+	return fmt.Sprintf("shape=%d upcallq=%d clamp=%d", d.Shape, d.UpcallQueue, d.Clamp)
+}
+
 // Gbps converts a byte count over an interval to gigabits per second.
 func Gbps(bytes uint64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

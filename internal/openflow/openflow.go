@@ -65,6 +65,12 @@ const (
 	// TypeTableReply reports the switch's installed rules — the
 	// "reported hardware state" reconciliation diffs against.
 	TypeTableReply
+	// TypeOverloadHint is the FasTrak experimenter message a local
+	// controller raises when its vswitch slow path enters (or leaves)
+	// CPU overload: an out-of-band degradation signal asking the TOR DE
+	// to prioritize offloading the dominant tenant's aggregates instead
+	// of waiting for the next demand-report cycle.
+	TypeOverloadHint
 )
 
 func (t MsgType) String() string {
@@ -99,6 +105,8 @@ func (t MsgType) String() string {
 		return "TABLE_REQUEST"
 	case TypeTableReply:
 		return "TABLE_REPLY"
+	case TypeOverloadHint:
+		return "OVERLOAD_HINT"
 	default:
 		return fmt.Sprintf("UNKNOWN(%d)", uint8(t))
 	}
@@ -611,6 +619,44 @@ func (m *TableReply) unmarshalBody(r *reader) error {
 	return r.err
 }
 
+// OverloadHint is a local controller's out-of-band degradation signal
+// (§4.3.1 extension): the vswitch slow path crossed its CPU overload
+// threshold and the named tenant dominates the miss stream. The TOR DE
+// treats the tenant's pending offload candidates from this server as
+// urgent — bypassing score ordering, not correctness checks — until the
+// hint is withdrawn (Overloaded=false) or expires.
+type OverloadHint struct {
+	ServerID uint32
+	Tenant   packet.TenantID
+	// Overloaded is true on entry into overload, false on recovery.
+	Overloaded bool
+	// MissPPS is the observed slow-path miss rate attributed to the
+	// tenant at signal time (diagnostics / tie-breaking).
+	MissPPS float64
+}
+
+// Type implements Message.
+func (*OverloadHint) Type() MsgType { return TypeOverloadHint }
+
+func (m *OverloadHint) marshalBody(b *buffer) {
+	b.u32(m.ServerID)
+	b.u32(uint32(m.Tenant))
+	if m.Overloaded {
+		b.u8(1)
+	} else {
+		b.u8(0)
+	}
+	b.f64(m.MissPPS)
+}
+
+func (m *OverloadHint) unmarshalBody(r *reader) error {
+	m.ServerID = r.u32()
+	m.Tenant = packet.TenantID(r.u32())
+	m.Overloaded = r.u8() != 0
+	m.MissPPS = r.f64()
+	return r.err
+}
+
 // ---- encoding primitives ----
 
 type buffer struct{ b []byte }
@@ -839,6 +885,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &TableRequest{}, nil
 	case TypeTableReply:
 		return &TableReply{}, nil
+	case TypeOverloadHint:
+		return &OverloadHint{}, nil
 	default:
 		return nil, fmt.Errorf("openflow: unknown message type %d", t)
 	}

@@ -74,20 +74,26 @@ type Switch struct {
 	vports   map[VMKey]*vport
 	tunnels  *rules.TunnelTable
 	fastpath *rules.ExactTable[fpVerdict]
-	// pendingUpcalls coalesces concurrent slow-path misses for the same
-	// flow: the first packet pays the user-space rule scan; packets
-	// arriving meanwhile wait on it instead of re-scanning.
-	pendingUpcalls map[packet.FlowKey][]func(fpVerdict)
+	// sched is the slow path's bounded-queue DRR scheduler and overload
+	// governor (see overload.go). It also coalesces concurrent misses for
+	// the same flow onto one user-space rule scan.
+	sched *upcallSched
 
 	// HostCPU accounts all vswitch CPU time (reported by Fig. 4).
 	HostCPU *metrics.CPUAccount
 
-	upcalls    uint64
-	denied     uint64
-	unrouted   uint64
-	txPackets  uint64
-	rxPackets  uint64
-	shapeDrops uint64
+	// OnOverload, when set, receives a signal on every overload-detector
+	// state transition: entering overload (the "emergency offload" hint the
+	// local controller forwards to the DE), offender changes, and recovery.
+	OnOverload func(OverloadSignal)
+
+	upcalls       uint64
+	upcallsServed uint64
+	denied        uint64
+	unrouted      uint64
+	txPackets     uint64
+	rxPackets     uint64
+	drops         metrics.DropCounters
 }
 
 // New builds a vswitch for the server at serverIP. hostExec runs the
@@ -95,16 +101,37 @@ type Switch struct {
 func New(eng *sim.Engine, cm *model.CostModel, cfg model.VSwitchConfig, serverIP packet.IP, hostExec Exec, uplink fabric.Port) *Switch {
 	return &Switch{
 		eng: eng, cm: cm, cfg: cfg,
-		serverIP:       serverIP,
-		hostExec:       hostExec,
-		uplink:         uplink,
-		vports:         make(map[VMKey]*vport),
-		tunnels:        rules.NewTunnelTable(),
-		fastpath:       rules.NewExactTable[fpVerdict](),
-		pendingUpcalls: make(map[packet.FlowKey][]func(fpVerdict)),
-		HostCPU:        &metrics.CPUAccount{},
+		serverIP: serverIP,
+		hostExec: hostExec,
+		uplink:   uplink,
+		vports:   make(map[VMKey]*vport),
+		tunnels:  rules.NewTunnelTable(),
+		fastpath: rules.NewExactTable[fpVerdict](),
+		sched:    newUpcallSched(DefaultOverloadConfig()),
+		HostCPU:  &metrics.CPUAccount{},
 	}
 }
+
+// SetOverloadConfig replaces the slow path's overload-protection
+// parameters. It resets the scheduler, so it should be called at
+// configuration time, before traffic flows.
+func (s *Switch) SetOverloadConfig(cfg OverloadConfig) {
+	s.sched = newUpcallSched(cfg)
+}
+
+// Overloaded reports whether the slow-path overload detector is currently
+// in the overloaded state.
+func (s *Switch) Overloaded() bool { return s.sched.overloaded }
+
+// OverloadEvents reports how many times the detector entered and left the
+// overloaded state.
+func (s *Switch) OverloadEvents() (entered, recovered uint64) {
+	return s.sched.Entered, s.sched.Recovered
+}
+
+// UpcallStats returns per-tenant slow-path service accounting, sorted by
+// tenant ID.
+func (s *Switch) UpcallStats() []UpcallStats { return s.sched.snapshotStats() }
 
 // SetUplink rewires the physical port (topology assembly).
 func (s *Switch) SetUplink(p fabric.Port) { s.uplink = p }
@@ -131,6 +158,13 @@ func (s *Switch) DetachVM(key VMKey) {
 	})
 	for _, k := range stale {
 		s.fastpath.Remove(k)
+	}
+	// In-service upcalls for the VM's flows must not re-install verdicts
+	// after the detach.
+	for k, job := range s.sched.pending {
+		if k.Tenant == key.Tenant && (k.Src == key.IP || k.Dst == key.IP) {
+			job.install = false
+		}
 	}
 }
 
@@ -192,6 +226,15 @@ func (s *Switch) Invalidate(p rules.Pattern) int {
 	for _, k := range stale {
 		s.fastpath.Remove(k)
 	}
+	// A pending upcall for a covered flow must not resurrect the stale
+	// verdict when its scan completes (e.g. the DE just offloaded the flow
+	// to hardware and flushed it here): the scan still runs — its waiters
+	// need a verdict — but the result is not installed.
+	for k, job := range s.sched.pending {
+		if p.Match(k) {
+			job.install = false
+		}
+	}
 	return len(stale)
 }
 
@@ -213,7 +256,7 @@ func (s *Switch) OutputFromVM(key VMKey, p *packet.Packet) {
 	p.Meta.Path = "vif"
 	cost := s.cm.VSwitchUnitCost(p.PayloadLen(), s.cfg)
 	s.exec(cost, func() {
-		s.classify(p, func(v fpVerdict) {
+		s.classify(vp, p, func(v fpVerdict) {
 			if !v.allow {
 				s.denied++
 				return
@@ -226,8 +269,12 @@ func (s *Switch) OutputFromVM(key VMKey, p *packet.Packet) {
 }
 
 // classify resolves the packet's verdict via the fast path, falling back
-// to the user-space slow path on a miss (§2.2).
-func (s *Switch) classify(p *packet.Packet, then func(fpVerdict)) {
+// to the user-space slow path on a miss (§2.2). Slow-path misses pass
+// through the overload governor: bounded per-VIF queues, DRR admission
+// across tenants, and (when the host is overloaded by a dominant tenant)
+// per-VIF miss-rate clamping. Packets refused at admission are dropped
+// with exact per-cause accounting.
+func (s *Switch) classify(vp *vport, p *packet.Packet, then func(fpVerdict)) {
 	k := p.Key()
 	if e := s.fastpath.Lookup(k); e != nil {
 		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
@@ -235,32 +282,77 @@ func (s *Switch) classify(p *packet.Packet, then func(fpVerdict)) {
 		then(e.Value)
 		return
 	}
-	// Slow path: upcall to user space, linear rule scan, install.
-	// Concurrent misses for the same flow coalesce onto one scan.
-	if waiters, pending := s.pendingUpcalls[k]; pending {
-		s.pendingUpcalls[k] = append(waiters, func(v fpVerdict) {
-			if e := s.fastpath.Lookup(k); e != nil {
-				e.Stats.Hit(wireSegBytes(p), s.eng.Now())
-				bumpSegments(e, p)
-			}
-			then(v)
-		})
+	now := s.eng.Now()
+	// Concurrent misses for the same flow coalesce onto the pending scan.
+	waiter := func(v fpVerdict) {
+		if e := s.fastpath.Lookup(k); e != nil {
+			e.Stats.Hit(wireSegBytes(p), s.eng.Now())
+			bumpSegments(e, p)
+		}
+		then(v)
+	}
+	if job, pending := s.sched.pending[k]; pending {
+		job.waiters = append(job.waiters, waiter)
 		return
 	}
-	s.upcalls++
-	s.pendingUpcalls[k] = nil
-	s.exec(s.cm.SlowPathCost(s.ruleCount(k)), func() {
-		v := s.evaluate(k)
-		e := s.fastpath.Install(k, v)
-		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
-		bumpSegments(e, p)
-		waiters := s.pendingUpcalls[k]
-		delete(s.pendingUpcalls, k)
-		then(v)
-		for _, w := range waiters {
-			w(v)
+	job := &upcallJob{
+		key:     k,
+		vif:     vp.key,
+		cost:    s.cm.SlowPathCost(s.ruleCount(k)),
+		install: true,
+		waiters: []func(fpVerdict){waiter},
+	}
+	switch s.sched.admit(now, job) {
+	case admitOK:
+		s.upcalls++
+		s.pumpUpcalls()
+	case admitQueueFull:
+		s.drops.UpcallQueue++
+	case admitClamped:
+		s.drops.Clamp++
+	}
+	s.overloadEval()
+}
+
+// pumpUpcalls dispatches queued upcalls onto the host CPUs up to the
+// configured handler-thread concurrency.
+func (s *Switch) pumpUpcalls() {
+	for s.sched.inFlight < s.sched.cfg.MaxInFlight {
+		job := s.sched.next()
+		if job == nil {
+			return
 		}
-	})
+		s.sched.inFlight++
+		s.exec(job.cost, func() {
+			s.sched.inFlight--
+			s.completeUpcall(job)
+		})
+	}
+}
+
+// completeUpcall finishes a slow-path scan: install the verdict (unless
+// an invalidation covering the flow landed mid-scan), wake the waiters,
+// and keep the pipeline full.
+func (s *Switch) completeUpcall(job *upcallJob) {
+	v := s.evaluate(job.key)
+	if job.install {
+		s.fastpath.Install(job.key, v)
+	}
+	s.upcallsServed++
+	s.sched.complete(s.eng.Now(), job)
+	for _, w := range job.waiters {
+		w(v)
+	}
+	s.pumpUpcalls()
+	s.overloadEval()
+}
+
+// overloadEval runs the overload detector and delivers any state
+// transition to the OnOverload hook.
+func (s *Switch) overloadEval() {
+	if sig, changed := s.sched.evaluate(s.eng.Now()); changed && s.OnOverload != nil {
+		s.OnOverload(sig)
+	}
 }
 
 // bumpSegments accounts additional wire segments beyond the first so pps
@@ -323,7 +415,7 @@ func (s *Switch) shapeEgress(vp *vport, p *packet.Packet, then func()) {
 	vp.htbExec(s.cm.HTBPerPacket, func() {
 		delay, ok := bucket.ReserveLimit(s.eng.Now(), p.WireLen(), maxShapeDelay)
 		if !ok {
-			s.shapeDrops++
+			s.drops.Shape++
 			return
 		}
 		vp.egressMeter.Record(p.WireLen())
@@ -406,7 +498,7 @@ func (s *Switch) InputFromNIC(p *packet.Packet) {
 			s.unrouted++
 			return
 		}
-		s.classify(inner, func(v fpVerdict) {
+		s.classify(vp, inner, func(v fpVerdict) {
 			if !v.allow {
 				s.denied++
 				return
@@ -435,7 +527,7 @@ func (s *Switch) shapeIngress(vp *vport, p *packet.Packet, then func()) {
 	vp.htbExec(s.cm.HTBPerPacket, func() {
 		delay, ok := bucket.ReserveLimit(s.eng.Now(), p.WireLen(), maxShapeDelay)
 		if !ok {
-			s.shapeDrops++
+			s.drops.Shape++
 			return
 		}
 		vp.ingressMeter.Record(p.WireLen())
@@ -464,13 +556,35 @@ func (s *Switch) Snapshot() []FlowStats {
 // ExpireIdle evicts fast-path entries idle since before deadline.
 func (s *Switch) ExpireIdle(deadline time.Duration) int { return s.fastpath.Expire(deadline) }
 
-// Counters reports aggregate statistics.
-func (s *Switch) Counters() (tx, rx, upcalls, denied, unrouted uint64) {
-	return s.txPackets, s.rxPackets, s.upcalls, s.denied, s.unrouted
+// Telemetry is the switch's aggregate counter snapshot. Every packet the
+// switch intentionally discards is charged to exactly one Drops cause, so
+// conservation equations over Telemetry close exactly.
+type Telemetry struct {
+	// Tx/Rx count packets transmitted toward the fabric (or delivered
+	// locally) and received for local VMs.
+	Tx, Rx uint64
+	// Upcalls counts slow-path misses admitted to the scheduler;
+	// UpcallsServed those whose rule scan completed.
+	Upcalls, UpcallsServed uint64
+	// Denied counts packets rejected by security rules; Unrouted packets
+	// with no attached destination or tunnel mapping.
+	Denied, Unrouted uint64
+	// Drops is the per-cause intentional-drop accounting.
+	Drops metrics.DropCounters
 }
 
-// ShapeDrops reports packets tail-dropped by full htb backlogs.
-func (s *Switch) ShapeDrops() uint64 { return s.shapeDrops }
+// Counters reports aggregate statistics.
+func (s *Switch) Counters() Telemetry {
+	return Telemetry{
+		Tx:            s.txPackets,
+		Rx:            s.rxPackets,
+		Upcalls:       s.upcalls,
+		UpcallsServed: s.upcallsServed,
+		Denied:        s.denied,
+		Unrouted:      s.unrouted,
+		Drops:         s.drops,
+	}
+}
 
 // ActiveFlows returns the number of fast-path entries.
 func (s *Switch) ActiveFlows() int { return s.fastpath.Len() }

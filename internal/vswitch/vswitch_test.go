@@ -89,8 +89,7 @@ func TestSecurityRulesEnforced(t *testing.T) {
 	if len(up.pkts) != 1 {
 		t.Fatalf("uplink got %d packets, want 1 (ssh denied)", len(up.pkts))
 	}
-	_, _, _, denied, _ := sw.Counters()
-	if denied != 1 {
+	if denied := sw.Counters().Denied; denied != 1 {
 		t.Errorf("denied = %d, want 1", denied)
 	}
 }
@@ -104,8 +103,7 @@ func TestFastPathCachesVerdict(t *testing.T) {
 		sw.OutputFromVM(vmA, sendPkt(3, vmA.IP, packet.MustParseIP("10.0.9.9"), 80, 100))
 		eng.Run()
 	}
-	_, _, upcalls, _, _ := sw.Counters()
-	if upcalls != 1 {
+	if upcalls := sw.Counters().Upcalls; upcalls != 1 {
 		t.Errorf("upcalls = %d, want 1 (only first packet hits slow path)", upcalls)
 	}
 	if sw.ActiveFlows() != 1 {
@@ -143,8 +141,7 @@ func TestTunnelingWithoutMappingDrops(t *testing.T) {
 	if len(up.pkts) != 0 {
 		t.Error("unmapped tenant traffic escaped")
 	}
-	_, _, _, _, unrouted := sw.Counters()
-	if unrouted != 1 {
+	if unrouted := sw.Counters().Unrouted; unrouted != 1 {
 		t.Errorf("unrouted = %d", unrouted)
 	}
 }
@@ -256,8 +253,7 @@ func TestDetachVMPurgesState(t *testing.T) {
 	}
 	sw.OutputFromVM(vmA, sendPkt(3, vmA.IP, packet.MustParseIP("10.0.9.9"), 80, 100))
 	eng.Run()
-	_, _, _, _, unrouted := sw.Counters()
-	if unrouted != 1 {
+	if sw.Counters().Unrouted != 1 {
 		t.Error("traffic from detached VM not dropped")
 	}
 }
@@ -316,13 +312,63 @@ func TestSlowPathUpcallsCoalesce(t *testing.T) {
 	if len(up.pkts) != 32 {
 		t.Fatalf("delivered %d of 32", len(up.pkts))
 	}
-	_, _, upcalls, _, _ := sw.Counters()
-	if upcalls != 1 {
+	if upcalls := sw.Counters().Upcalls; upcalls != 1 {
 		t.Errorf("upcalls = %d, want 1 (coalesced)", upcalls)
 	}
 	// Stats counted every packet exactly once.
 	snap := sw.Snapshot()
 	if len(snap) != 1 || snap[0].Packets != 32 {
 		t.Errorf("flow stats = %+v", snap)
+	}
+}
+
+func TestExpireIdleVsConcurrentPromote(t *testing.T) {
+	// Race regression: a flow's fast-path entry idles out; its next
+	// packet starts a fresh slow-path scan; while the scan is in flight
+	// the DE promotes the flow to hardware and flushes the software path
+	// (Invalidate). The completing scan must not resurrect its verdict
+	// into the fast path — a resurrected entry would keep steering and
+	// double-counting a flow that now lives in the TCAM.
+	eng := sim.NewEngine(1)
+	up := &capture{}
+	slowExec := func(cost time.Duration, fn func()) { eng.After(cost, fn) }
+	cm := model.Default()
+	// 10000 security rules make the scan take ~450µs of virtual time, a
+	// wide window for the promote to land mid-scan.
+	sw := New(eng, &cm, model.VSwitchConfig{SecurityRules: 10000}, srvA, slowExec, up)
+	attach(sw, vmA, nil)
+	dst := packet.MustParseIP("10.0.9.9")
+
+	// Warm the fast path, then let the entry idle out.
+	sw.OutputFromVM(vmA, sendPkt(3, vmA.IP, dst, 80, 100))
+	eng.Run()
+	if sw.ActiveFlows() != 1 {
+		t.Fatalf("active = %d, want 1", sw.ActiveFlows())
+	}
+	eng.At(10*time.Second, func() {
+		if n := sw.ExpireIdle(5 * time.Second); n != 1 {
+			t.Errorf("expired %d, want 1", n)
+		}
+		// The flow comes back: a miss, a new pending scan.
+		sw.OutputFromVM(vmA, sendPkt(3, vmA.IP, dst, 80, 100))
+	})
+	// 100µs later — after admission, well before the ~450µs scan
+	// completes — the promote flushes the software path.
+	eng.At(10*time.Second+100*time.Microsecond, func() {
+		sw.Invalidate(rules.Pattern{Tenant: 3, DstPort: 80})
+	})
+	eng.Run()
+
+	// The packet itself is delivered (its waiter still gets a verdict)…
+	if len(up.pkts) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(up.pkts))
+	}
+	// …but the stale verdict must not reappear in the fast path.
+	if sw.ActiveFlows() != 0 {
+		t.Errorf("completed scan resurrected the invalidated entry: active = %d", sw.ActiveFlows())
+	}
+	// And the scan was still accounted as served.
+	if tel := sw.Counters(); tel.Upcalls != 2 || tel.UpcallsServed != 2 {
+		t.Errorf("upcalls = %d served = %d, want 2/2", tel.Upcalls, tel.UpcallsServed)
 	}
 }
