@@ -1,0 +1,32 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-update clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect every unit/integration/fault test; -short skips only the
+# experiment-scale runs that exceed the race detector's time budget.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Run the fast-path microbenchmarks (rules, vswitch, packet, tunnel).
+bench:
+	scripts/bench.sh
+
+# Re-record the checked-in performance floor after an intentional change.
+bench-update:
+	scripts/bench.sh -update
+
+clean:
+	$(GO) clean ./...

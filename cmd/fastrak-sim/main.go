@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro"
@@ -50,7 +52,37 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan DSL, or \"random\" for a seeded random plan")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
 	overload := flag.Bool("overload", false, "run the canned slow-path overload scenario instead of the rack workload")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fastrak-sim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fastrak-sim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fastrak-sim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fastrak-sim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *overload {
 		runOverload(*seed, *faultSeed, *duration)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/model"
 	"repro/internal/packet"
+	"repro/internal/rules"
 	"repro/internal/sim"
 	"repro/internal/vswitch"
 )
@@ -118,9 +119,10 @@ func (r OverloadResult) Converged() bool {
 }
 
 // stormDriver implements faults.Stormer: a tenant VM opening a fresh flow
-// (rotating source port) per tick. Every flow's first packet misses the
-// vswitch fast path and costs a slow-path rule scan — the §3 adversarial
-// workload.
+// (rotating source port) per tick. The tenants in this rig carry
+// port-granular ACLs (see portACL), so every flow's first packet misses
+// both the exact-match fast path and the megaflow wildcard cache and
+// costs a slow-path rule scan — the §3 adversarial workload.
 type stormDriver struct {
 	eng  *sim.Engine
 	vm   *host.VM
@@ -153,6 +155,24 @@ func (s *stormDriver) SetStorm(pps float64) {
 		s.vm.Send(s.dst, s.port, 7000, 100, host.SendOptions{}, nil)
 		s.Sent++
 	})
+}
+
+// portACL builds a tenant's rule set for the overload rig: a
+// service-port allow, a return-path allow, and a tenant-wide default
+// allow. The verdicts are the same as an empty rule set (everything
+// allowed); what matters is the *tuples*: the two port rules keep
+// SrcPort/DstPort pinned in every megaflow mask this endpoint produces,
+// so a tenant opening flows from fresh source ports pays one slow-path
+// upcall per flow. Without port-granular rules the wildcard cache would
+// absorb a §3-style new-flow storm after a single miss — which is the
+// correct fast-path behaviour, but not the shared-slow-path regime this
+// experiment stresses (see DESIGN.md, "Fast-path architecture").
+func portACL(t packet.TenantID, ip packet.IP, svcPort uint16) *rules.VMRules {
+	return &rules.VMRules{Tenant: t, VMIP: ip, Security: []rules.SecurityRule{
+		{Pattern: rules.Pattern{Tenant: t, DstPort: svcPort}, Action: rules.Allow, Priority: 5},
+		{Pattern: rules.Pattern{Tenant: t, SrcPort: svcPort}, Action: rules.Allow, Priority: 5},
+		{Pattern: rules.Pattern{Tenant: t}, Action: rules.Allow, Priority: 0},
+	}}
 }
 
 // DefaultOverloadPlan is the seeded scenario: a miss storm over the
@@ -203,18 +223,18 @@ func RunOverload(cfg OverloadConfig) (OverloadResult, error) {
 	victimSrcIP := packet.MustParseIP("10.8.0.1")
 	victimDstIP := packet.MustParseIP("10.8.0.10")
 
-	stormSrc, err := c.AddVM(0, stormTenant, stormSrcIP, 4, nil)
+	stormSrc, err := c.AddVM(0, stormTenant, stormSrcIP, 4, portACL(stormTenant, stormSrcIP, 7000))
 	if err != nil {
 		return OverloadResult{}, err
 	}
-	if _, err := c.AddVM(1, stormTenant, stormDstIP, 4, nil); err != nil {
+	if _, err := c.AddVM(1, stormTenant, stormDstIP, 4, portACL(stormTenant, stormDstIP, 7000)); err != nil {
 		return OverloadResult{}, err
 	}
-	victimSrc, err := c.AddVM(0, victimTenant, victimSrcIP, 4, nil)
+	victimSrc, err := c.AddVM(0, victimTenant, victimSrcIP, 4, portACL(victimTenant, victimSrcIP, 7000))
 	if err != nil {
 		return OverloadResult{}, err
 	}
-	if _, err := c.AddVM(1, victimTenant, victimDstIP, 4, nil); err != nil {
+	if _, err := c.AddVM(1, victimTenant, victimDstIP, 4, portACL(victimTenant, victimDstIP, 7000)); err != nil {
 		return OverloadResult{}, err
 	}
 

@@ -180,6 +180,46 @@ func (d DropCounters) String() string {
 	return fmt.Sprintf("shape=%d upcallq=%d clamp=%d", d.Shape, d.UpcallQueue, d.Clamp)
 }
 
+// CacheCounters is the observability surface of a decision cache (the
+// vswitch megaflow cache): hit/miss traffic, install churn, capacity
+// evictions and rule-change invalidations. Counters only ever increase.
+type CacheCounters struct {
+	// Hits counts lookups served from the cache; Misses lookups that
+	// fell through to the full classifier.
+	Hits, Misses uint64
+	// Installs counts entries installed after slow-path classifications.
+	Installs uint64
+	// Evictions counts entries discarded for capacity; Invalidations
+	// entries removed because an overlapping rule changed (the
+	// revalidation path that keeps the cache semantically transparent).
+	Evictions, Invalidations uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 when idle.
+func (c CacheCounters) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// Add returns the element-wise sum.
+func (c CacheCounters) Add(o CacheCounters) CacheCounters {
+	return CacheCounters{
+		Hits:          c.Hits + o.Hits,
+		Misses:        c.Misses + o.Misses,
+		Installs:      c.Installs + o.Installs,
+		Evictions:     c.Evictions + o.Evictions,
+		Invalidations: c.Invalidations + o.Invalidations,
+	}
+}
+
+// String renders the counters for logs and experiment tables.
+func (c CacheCounters) String() string {
+	return fmt.Sprintf("hits=%d misses=%d installs=%d evict=%d inval=%d",
+		c.Hits, c.Misses, c.Installs, c.Evictions, c.Invalidations)
+}
+
 // Gbps converts a byte count over an interval to gigabits per second.
 func Gbps(bytes uint64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

@@ -216,11 +216,12 @@ func pseudoHeaderSum(src, dst IP, proto byte, l4len int) uint32 {
 	return sum
 }
 
-// marshal writes the TCP header and checksum. payload holds the real
-// payload bytes; virtualLen is the count of additional implicit zero bytes
+// marshal writes the TCP header and checksum. paySum is the
+// one's-complement partial sum of the real payload bytes (memoized by the
+// Packet); virtualLen is the count of additional implicit zero bytes
 // (zeros do not perturb the one's-complement sum, so the checksum remains
 // exact).
-func (t TCPHeader) marshal(b []byte, ip IPv4, payload []byte, virtualLen int) {
+func (t TCPHeader) marshal(b []byte, ip IPv4, paySum uint32, payLen, virtualLen int) {
 	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
 	binary.BigEndian.PutUint32(b[4:8], t.Seq)
@@ -230,9 +231,9 @@ func (t TCPHeader) marshal(b []byte, ip IPv4, payload []byte, virtualLen int) {
 	binary.BigEndian.PutUint16(b[14:16], t.Window)
 	binary.BigEndian.PutUint16(b[16:18], 0) // checksum placeholder
 	binary.BigEndian.PutUint16(b[18:20], 0) // urgent pointer
-	l4len := TCPHeaderLen + len(payload) + virtualLen
+	l4len := TCPHeaderLen + payLen + virtualLen
 	sum := pseudoHeaderSum(ip.Src, ip.Dst, ProtoTCP, l4len)
-	csum := checksumTwoPart(b[:TCPHeaderLen], payload, sum)
+	csum := checksumHeaderPlusSum(b[:TCPHeaderLen], paySum, sum)
 	binary.BigEndian.PutUint16(b[16:18], csum)
 }
 
@@ -253,14 +254,14 @@ func unmarshalTCP(b []byte) (TCPHeader, error) {
 	}, nil
 }
 
-func (u UDPHeader) marshal(b []byte, ip IPv4, payload []byte, virtualLen int) {
+func (u UDPHeader) marshal(b []byte, ip IPv4, paySum uint32, payLen, virtualLen int) {
 	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
-	l4len := UDPHeaderLen + len(payload) + virtualLen
+	l4len := UDPHeaderLen + payLen + virtualLen
 	binary.BigEndian.PutUint16(b[4:6], uint16(l4len))
 	binary.BigEndian.PutUint16(b[6:8], 0)
 	sum := pseudoHeaderSum(ip.Src, ip.Dst, ProtoUDP, l4len)
-	csum := checksumTwoPart(b[:UDPHeaderLen], payload, sum)
+	csum := checksumHeaderPlusSum(b[:UDPHeaderLen], paySum, sum)
 	if csum == 0 {
 		csum = 0xffff // RFC 768: transmitted zero means "no checksum"
 	}
@@ -277,20 +278,29 @@ func unmarshalUDP(b []byte) (UDPHeader, error) {
 	}, nil
 }
 
-// checksumTwoPart computes the checksum of hdr followed by payload without
-// concatenating them. hdr must have even length.
-func checksumTwoPart(hdr, payload []byte, initial uint32) uint16 {
-	sum := initial
-	for i := 0; i+1 < len(hdr); i += 2 {
-		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
-	}
-	b := payload
+// partialSum computes the one's-complement partial (unfolded, uninverted)
+// sum of b, treating b as starting on an even (16-bit) boundary — true
+// for L4 payloads, which follow an even-length header stack. Packet
+// memoizes this over its payload so unmodified frames re-marshaled on
+// encap hops skip the dominant checksum cost.
+func partialSum(b []byte) uint32 {
+	var sum uint32
 	for len(b) >= 2 {
 		sum += uint32(binary.BigEndian.Uint16(b))
 		b = b[2:]
 	}
 	if len(b) == 1 {
 		sum += uint32(b[0]) << 8
+	}
+	return sum
+}
+
+// checksumHeaderPlusSum folds the checksum of an even-length header plus a
+// precomputed payload partial sum and an initial (pseudo-header) sum.
+func checksumHeaderPlusSum(hdr []byte, paySum, initial uint32) uint16 {
+	sum := initial + paySum
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
 	}
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16

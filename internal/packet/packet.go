@@ -45,6 +45,15 @@ type Packet struct {
 	Tenant TenantID
 
 	Meta Meta
+
+	// Payload-checksum memo: the one's-complement partial sum of Payload,
+	// valid while csumFor is identical (same backing array, same length)
+	// to Payload. Payload bytes are treated as immutable once attached —
+	// the testbed never rewrites them in place (Clone copies) — so an
+	// unmodified frame re-marshaled on an encap hop skips re-summing its
+	// payload, the dominant checksum cost.
+	csumFor []byte
+	csumSum uint32
 }
 
 // PayloadLen returns the total L4 payload length, real plus virtual.
@@ -108,40 +117,40 @@ func (p *Packet) Clone() *Packet {
 	if p.Payload != nil {
 		q.Payload = append([]byte(nil), p.Payload...)
 	}
+	q.csumFor, q.csumSum = nil, 0 // memo is keyed on slice identity
 	return &q
 }
 
 // Marshal serializes the frame starting at the Ethernet header. Virtual
 // payload bytes are written as zeros.
 func (p *Packet) Marshal() ([]byte, error) {
-	b := make([]byte, p.WireLen())
-	off := 0
-	eth := p.Eth
-	if p.VLAN != nil {
-		eth.EtherType = EtherTypeVLAN
-	} else {
-		eth.EtherType = EtherTypeIPv4
-	}
-	eth.marshal(b[off:])
-	off += EthernetHeaderLen
-	if p.VLAN != nil {
-		p.VLAN.marshal(b[off:], EtherTypeIPv4)
-		off += VLANTagLen
-	}
-	if err := p.marshalIPv4(b[off:]); err != nil {
-		return nil, err
-	}
-	return b, nil
+	return p.AppendMarshal(make([]byte, 0, p.WireLen()))
+}
+
+// AppendMarshal appends the serialized frame (virtual payload
+// materialized as zeros) to dst and returns the extended slice. With a
+// pooled or reused dst this path is allocation-free.
+func (p *Packet) AppendMarshal(dst []byte) ([]byte, error) {
+	return p.appendFrame(dst, false)
 }
 
 // MarshalIPv4 serializes from the IPv4 header onward — the form GRE
 // carries across the fabric (GRE protocol type 0x0800).
 func (p *Packet) MarshalIPv4() ([]byte, error) {
-	b := make([]byte, p.IPLen())
+	return p.AppendMarshalIPv4(make([]byte, 0, p.IPLen()))
+}
+
+// AppendMarshalIPv4 appends the IPv4-onward serialization to dst.
+func (p *Packet) AppendMarshalIPv4(dst []byte) ([]byte, error) {
+	n := p.IPLen()
+	all, b := grow(dst, n)
+	if p.VirtualPayload > 0 {
+		clear(b[n-p.VirtualPayload:]) // reused buffers are dirty
+	}
 	if err := p.marshalIPv4(b); err != nil {
 		return nil, err
 	}
-	return b, nil
+	return all, nil
 }
 
 // MarshalTruncated serializes the frame with virtual payload bytes elided:
@@ -151,7 +160,42 @@ func (p *Packet) MarshalIPv4() ([]byte, error) {
 // virtual payload never gets materialized; Unmarshal of the truncated
 // bytes reconstructs the virtual length from the IP total-length field.
 func (p *Packet) MarshalTruncated() ([]byte, error) {
-	b := make([]byte, p.WireLen()-p.VirtualPayload)
+	return p.AppendMarshalTruncated(make([]byte, 0, p.WireLen()-p.VirtualPayload))
+}
+
+// AppendMarshalTruncated appends the truncated serialization to dst (see
+// MarshalTruncated). The tunnel encap path marshals inner frames directly
+// into the pooled outer payload through this.
+func (p *Packet) AppendMarshalTruncated(dst []byte) ([]byte, error) {
+	return p.appendFrame(dst, true)
+}
+
+// MarshalIPv4Truncated is MarshalIPv4 with virtual payload bytes elided
+// (see MarshalTruncated).
+func (p *Packet) MarshalIPv4Truncated() ([]byte, error) {
+	return p.AppendMarshalIPv4Truncated(make([]byte, 0, p.IPLen()-p.VirtualPayload))
+}
+
+// AppendMarshalIPv4Truncated appends the truncated IPv4-onward
+// serialization to dst.
+func (p *Packet) AppendMarshalIPv4Truncated(dst []byte) ([]byte, error) {
+	all, b := grow(dst, p.IPLen()-p.VirtualPayload)
+	if err := p.marshalIPv4(b); err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+// appendFrame appends the Ethernet-onward serialization to dst.
+func (p *Packet) appendFrame(dst []byte, truncated bool) ([]byte, error) {
+	n := p.WireLen()
+	if truncated {
+		n -= p.VirtualPayload
+	}
+	all, b := grow(dst, n)
+	if !truncated && p.VirtualPayload > 0 {
+		clear(b[n-p.VirtualPayload:]) // reused buffers are dirty
+	}
 	off := 0
 	eth := p.Eth
 	if p.VLAN != nil {
@@ -168,17 +212,33 @@ func (p *Packet) MarshalTruncated() ([]byte, error) {
 	if err := p.marshalIPv4(b[off:]); err != nil {
 		return nil, err
 	}
-	return b, nil
+	return all, nil
 }
 
-// MarshalIPv4Truncated is MarshalIPv4 with virtual payload bytes elided
-// (see MarshalTruncated).
-func (p *Packet) MarshalIPv4Truncated() ([]byte, error) {
-	b := make([]byte, p.IPLen()-p.VirtualPayload)
-	if err := p.marshalIPv4(b); err != nil {
-		return nil, err
+// grow extends dst by n bytes in place when capacity allows, returning
+// the full slice and the (possibly dirty) n-byte tail to marshal into.
+func grow(dst []byte, n int) (all, tail []byte) {
+	l := len(dst)
+	if cap(dst)-l >= n {
+		all = dst[:l+n]
+	} else {
+		all = append(dst, make([]byte, n)...)
 	}
-	return b, nil
+	return all, all[l:]
+}
+
+// payloadSum returns the one's-complement partial sum of the real payload
+// bytes, memoized by slice identity (see the csumFor field docs).
+func (p *Packet) payloadSum() uint32 {
+	if len(p.Payload) == 0 {
+		return 0
+	}
+	if len(p.csumFor) == len(p.Payload) && &p.csumFor[0] == &p.Payload[0] {
+		return p.csumSum
+	}
+	s := partialSum(p.Payload)
+	p.csumFor, p.csumSum = p.Payload, s
+	return s
 }
 
 func (p *Packet) marshalIPv4(b []byte) error {
@@ -191,17 +251,18 @@ func (p *Packet) marshalIPv4(b []byte) error {
 		if p.IP.Proto != ProtoTCP {
 			return fmt.Errorf("packet: TCP header with IP proto %d", p.IP.Proto)
 		}
-		p.TCP.marshal(b[off:], p.IP, p.Payload, p.VirtualPayload)
+		p.TCP.marshal(b[off:], p.IP, p.payloadSum(), len(p.Payload), p.VirtualPayload)
 		off += TCPHeaderLen
 	case p.UDP != nil:
 		if p.IP.Proto != ProtoUDP {
 			return fmt.Errorf("packet: UDP header with IP proto %d", p.IP.Proto)
 		}
-		p.UDP.marshal(b[off:], p.IP, p.Payload, p.VirtualPayload)
+		p.UDP.marshal(b[off:], p.IP, p.payloadSum(), len(p.Payload), p.VirtualPayload)
 		off += UDPHeaderLen
 	}
 	copy(b[off:], p.Payload)
-	// Remaining bytes are already zero (virtual payload).
+	// Bytes beyond the real payload (virtual payload, non-truncated form
+	// only) were zeroed by the caller.
 	return nil
 }
 

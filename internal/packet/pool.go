@@ -1,0 +1,54 @@
+package packet
+
+import "sync"
+
+// Wire-buffer pooling: the encap/decap and serialization hot paths churn
+// through short-lived byte slices (one per tunneled packet in the seed).
+// A sync.Pool of grow-in-place buffers makes the steady state allocation-
+// free: acquire with GetBuffer, marshal into it, and return it with
+// PutBuffer at the point the frame is provably dead (see the ownership
+// contract in DESIGN.md §"Fast-path architecture").
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048) // one MTU frame plus encap headroom
+		return &b
+	},
+}
+
+// GetBuffer returns a length-n buffer from the wire-buffer pool. Contents
+// are undefined (callers overwrite every byte or use the marshal APIs,
+// which zero any virtual-payload tail explicitly).
+func GetBuffer(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := *bp
+	if cap(b) < n {
+		c := cap(b)
+		if c < 2048 {
+			c = 2048
+		}
+		for c < n {
+			c <<= 1
+		}
+		b = make([]byte, c)
+	}
+	*bp = nil
+	boxPool.Put(bp)
+	return b[:n]
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not touch b (or
+// any slice aliasing it) afterwards: the next GetBuffer may hand it out.
+// Putting a buffer that did not come from GetBuffer is allowed — the pool
+// adopts it.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bp := boxPool.Get().(*[]byte)
+	*bp = b[:0]
+	bufPool.Put(bp)
+}
+
+// boxPool recycles the slice-header boxes so Get/Put cycles allocate
+// nothing in steady state.
+var boxPool = sync.Pool{New: func() any { return new([]byte) }}

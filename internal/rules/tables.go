@@ -9,6 +9,16 @@ import (
 	"repro/internal/packet"
 )
 
+// tcamLess orders TCAM entries for lookup: higher priority first,
+// specificity breaking ties. Entries equal under this order keep FIFO
+// (insertion) order.
+func tcamLess(a, b *TCAMEntry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Pattern.Specificity() > b.Pattern.Specificity()
+}
+
 // FlowStats are the per-entry counters every table keeps, read by the
 // measurement engines: packets (p) and bytes (b) observed (§4.3.1).
 type FlowStats struct {
@@ -109,10 +119,16 @@ type TCAMEntry struct {
 // TCAM models the ToR's capacity-limited wildcard-matching rule memory.
 // Lookup is highest-priority-first, specificity breaking ties — the
 // semantics of a priority-encoded TCAM. Capacity is enforced on Insert.
+//
+// Internally the table keeps two coherent views: a slice in (priority,
+// specificity) order maintained by binary-search insertion (Entries
+// iterates it, and it is the semantic reference), and a tuple-space index
+// (see TupleSpace) that serves Lookup in O(distinct masks) hash probes
+// instead of a linear pattern scan.
 type TCAM struct {
 	capacity int
-	entries  []*TCAMEntry
-	sorted   bool
+	entries  []*TCAMEntry // sorted by tcamLess, FIFO within ties
+	idx      *TupleSpace[*TCAMEntry]
 }
 
 // NewTCAM returns an empty table holding at most capacity entries.
@@ -120,7 +136,7 @@ func NewTCAM(capacity int) *TCAM {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &TCAM{capacity: capacity}
+	return &TCAM{capacity: capacity, idx: NewTupleSpace[*TCAMEntry]()}
 }
 
 // Capacity returns the total entry budget.
@@ -134,13 +150,22 @@ func (t *TCAM) Free() int { return t.capacity - len(t.entries) }
 // Len returns the number of installed entries.
 func (t *TCAM) Len() int { return len(t.entries) }
 
-// Insert installs a rule, failing with ErrTCAMFull when out of space.
+// Insert installs a rule, failing with ErrTCAMFull when out of space. The
+// entry is spliced into (priority, specificity) position by binary search
+// — after any equal-keyed entries, preserving FIFO tie order — so lookups
+// never re-sort and interleaved insert/lookup sequences keep a stable
+// tie-break.
 func (t *TCAM) Insert(e *TCAMEntry) error {
 	if len(t.entries) >= t.capacity {
 		return ErrTCAMFull
 	}
-	t.entries = append(t.entries, e)
-	t.sorted = false
+	// First index whose entry sorts strictly after e: equal keys are not
+	// "less", so e lands after them.
+	i := sort.Search(len(t.entries), func(i int) bool { return tcamLess(e, t.entries[i]) })
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	t.idx.Insert(e.Pattern, e.Priority, e)
 	return nil
 }
 
@@ -156,21 +181,32 @@ func (t *TCAM) Remove(p Pattern) int {
 		}
 		out = append(out, e)
 	}
+	for i := len(out); i < len(t.entries); i++ {
+		t.entries[i] = nil // release removed tails
+	}
 	t.entries = out
+	if n > 0 {
+		t.idx.Remove(p, func(e *TCAMEntry) bool { return e.Pattern == p })
+	}
 	return n
 }
 
 // Lookup returns the winning entry for the key, or nil if nothing matches.
+// It is served from the tuple-space index; LookupLinear over the sorted
+// slice is the semantic reference (the differential tests assert they
+// agree).
 func (t *TCAM) Lookup(k packet.FlowKey) *TCAMEntry {
-	if !t.sorted {
-		sort.SliceStable(t.entries, func(i, j int) bool {
-			if t.entries[i].Priority != t.entries[j].Priority {
-				return t.entries[i].Priority > t.entries[j].Priority
-			}
-			return t.entries[i].Pattern.Specificity() > t.entries[j].Pattern.Specificity()
-		})
-		t.sorted = true
+	e, ok := t.idx.Lookup(k)
+	if !ok {
+		return nil
 	}
+	return e
+}
+
+// LookupLinear returns the winning entry by first-match scan of the
+// sorted entry slice — the seed TCAM semantics, kept as the reference
+// implementation for differential testing.
+func (t *TCAM) LookupLinear(k packet.FlowKey) *TCAMEntry {
 	for _, e := range t.entries {
 		if e.Pattern.Match(k) {
 			return e
@@ -186,15 +222,30 @@ func (t *TCAM) Entries(fn func(*TCAMEntry)) {
 	}
 }
 
-// PriorityTable is the vswitch user-space (slow path) rule table: an
-// ordered scan of wildcard rules. It is deliberately a linear match — the
-// point of the fast path is to avoid consulting it per packet.
+// PriorityTable is the vswitch user-space (slow path) rule table. The
+// seed implementation was an ordered linear scan; it now fronts the same
+// semantics with a tuple-space index, so Evaluate costs O(distinct masks)
+// hash probes instead of O(rules) pattern matches. EvaluateLinear remains
+// as the semantic reference.
 type PriorityTable struct {
 	rules []SecurityRule
+	idx   *TupleSpace[Action]
 }
 
 // Add appends a rule.
-func (t *PriorityTable) Add(r SecurityRule) { t.rules = append(t.rules, r) }
+func (t *PriorityTable) Add(r SecurityRule) {
+	t.rules = append(t.rules, r)
+	if t.idx == nil {
+		t.idx = NewTupleSpace[Action]()
+	}
+	if r.Priority >= -1 {
+		// Rules below priority -1 can never win: the linear scan's best
+		// starts at (-1, spec -1), which only priority ≥ 0 beats outright
+		// and priority exactly -1 beats on the specificity tie. They are
+		// not indexed.
+		t.idx.Insert(r.Pattern, r.Priority, r.Action)
+	}
+}
 
 // Len returns the number of rules.
 func (t *PriorityTable) Len() int { return len(t.rules) }
@@ -202,6 +253,31 @@ func (t *PriorityTable) Len() int { return len(t.rules) }
 // Evaluate returns the verdict for the key: the highest-priority match
 // (specificity breaks ties), or Deny when nothing matches.
 func (t *PriorityTable) Evaluate(k packet.FlowKey) Action {
+	if t.idx == nil {
+		return Deny
+	}
+	if a, ok := t.idx.Lookup(k); ok {
+		return a
+	}
+	return Deny
+}
+
+// EvaluateMask is Evaluate plus the union of field masks the search
+// consulted — the wildcard under which the verdict may be cached.
+func (t *PriorityTable) EvaluateMask(k packet.FlowKey) (Action, FieldMask) {
+	if t.idx == nil {
+		return Deny, FieldMask{}
+	}
+	a, ok, m := t.idx.LookupMask(k)
+	if !ok {
+		return Deny, m
+	}
+	return a, m
+}
+
+// EvaluateLinear is the seed linear-scan implementation, kept as the
+// reference for differential testing.
+func (t *PriorityTable) EvaluateLinear(k packet.FlowKey) Action {
 	best, bestSpec := -1, -1
 	action := Deny
 	for i := range t.rules {

@@ -378,6 +378,9 @@ func (t *TOR) terminateGRE(p *packet.Packet) {
 		t.unrouted++
 		return
 	}
+	// The outer frame is dead once the inner has been extracted (decap
+	// shares no memory with it); recycle its buffers.
+	tunnel.Release(p)
 	t.greRx++
 	v, ok := t.vrfs[tenant]
 	if !ok {

@@ -11,28 +11,74 @@
 // Encapsulation is performed on real wire bytes: the inner packet is
 // marshaled into the outer payload and parsed back on decap, so every
 // tunneled hop exercises the codecs end to end.
+//
+// The encap path is allocation-free in steady state: outer packets come
+// from sync.Pools that retain their payload buffer capacity (and, for
+// VXLAN, the UDP header box) across uses, and the inner frame is
+// marshaled directly into the pooled payload — the seed's
+// marshal-then-copy double allocation is gone. Decap sites hand the spent
+// outer back with Release; see DESIGN.md §"Fast-path architecture" for
+// the ownership contract.
 package tunnel
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/packet"
 )
 
+// greOuterPool and vxlanOuterPool recycle outer packets (struct + payload
+// buffer capacity + UDP header box). They are separate so a GRE outer
+// never strands a VXLAN outer's UDP box and buffer capacities stay
+// encap-typical.
+var (
+	greOuterPool   = sync.Pool{New: func() any { return new(packet.Packet) }}
+	vxlanOuterPool = sync.Pool{New: func() any { return new(packet.Packet) }}
+)
+
+// Release returns a spent outer packet to its encap pool. Call it exactly
+// once, after a successful decap, at the point the outer frame is dead:
+// the inner packet produced by decap shares no memory with it (decap
+// copies the payload it keeps). After Release the caller must not touch
+// the outer packet or its payload again. Packets that never came from an
+// encap pool are adopted by it.
+func Release(outer *packet.Packet) {
+	if outer == nil {
+		return
+	}
+	buf := outer.Payload
+	udp := outer.UDP
+	if udp != nil {
+		*udp = packet.UDPHeader{}
+		*outer = packet.Packet{UDP: udp, Payload: buf[:0]}
+		vxlanOuterPool.Put(outer)
+		return
+	}
+	*outer = packet.Packet{Payload: buf[:0]}
+	greOuterPool.Put(outer)
+}
+
 // GREEncap wraps inner in an outer IPv4+GRE packet from src to dst (ToR
 // loopback addresses), with the tenant ID in the GRE key. The inner frame
-// is carried from its IPv4 header (GRE protocol type 0x0800).
+// is carried from its IPv4 header (GRE protocol type 0x0800), marshaled
+// in one pass directly into the pooled outer payload.
 func GREEncap(src, dst packet.IP, tenant packet.TenantID, inner *packet.Packet) (*packet.Packet, error) {
-	innerBytes, err := inner.MarshalIPv4Truncated()
+	outer := greOuterPool.Get().(*packet.Packet)
+	g := packet.GRE{HasKey: true, Key: uint32(tenant), Proto: packet.EtherTypeIPv4}
+	payload := outer.Payload[:0]
+	if cap(payload) < g.Len() {
+		payload = make([]byte, 0, 2048)
+	}
+	payload = payload[:g.Len()]
+	g.Marshal(payload)
+	payload, err := inner.AppendMarshalIPv4Truncated(payload)
 	if err != nil {
+		outer.Payload = payload[:0]
+		greOuterPool.Put(outer)
 		return nil, fmt.Errorf("tunnel: gre encap: %w", err)
 	}
-	g := packet.GRE{HasKey: true, Key: uint32(tenant), Proto: packet.EtherTypeIPv4}
-	payload := make([]byte, g.Len()+len(innerBytes))
-	g.Marshal(payload)
-	copy(payload[g.Len():], innerBytes)
-
-	outer := &packet.Packet{
+	*outer = packet.Packet{
 		IP:      packet.IPv4{TTL: 64, Proto: packet.ProtoGRE, Src: src, Dst: dst},
 		Payload: payload,
 		// Virtual payload of the inner packet is preserved as virtual
@@ -47,7 +93,8 @@ func GREEncap(src, dst packet.IP, tenant packet.TenantID, inner *packet.Packet) 
 
 // GREDecap unwraps a GRE packet, returning the inner packet and the tenant
 // ID from the key. The ToR uses the key to select the VRF table before
-// ACL checking (§4.2.2).
+// ACL checking (§4.2.2). The caller owns the outer afterwards and should
+// Release it once the inner has been extracted.
 func GREDecap(outer *packet.Packet) (*packet.Packet, packet.TenantID, error) {
 	if outer.IP.Proto != packet.ProtoGRE {
 		return nil, 0, fmt.Errorf("tunnel: gre decap: ip proto %d", outer.IP.Proto)
@@ -83,20 +130,37 @@ func GREDecap(outer *packet.Packet) (*packet.Packet, packet.TenantID, error) {
 // port is derived from the inner flow hash for fabric ECMP entropy, as
 // real implementations do.
 func VXLANEncap(src, dst packet.IP, tenant packet.TenantID, inner *packet.Packet) (*packet.Packet, error) {
-	innerBytes, err := inner.MarshalTruncated()
-	if err != nil {
-		return nil, fmt.Errorf("tunnel: vxlan encap: %w", err)
-	}
+	return VXLANEncapHashed(src, dst, tenant, inner, inner.Key().FastHash())
+}
+
+// VXLANEncapHashed is VXLANEncap with the inner flow hash supplied by the
+// caller — the vswitch computes the flow key once per packet for
+// classification and reuses its hash here instead of re-deriving both.
+func VXLANEncapHashed(src, dst packet.IP, tenant packet.TenantID, inner *packet.Packet, flowHash uint64) (*packet.Packet, error) {
+	outer := vxlanOuterPool.Get().(*packet.Packet)
 	var v packet.VXLAN
 	v.VNI = uint32(tenant) & 0xffffff
-	payload := make([]byte, packet.VXLANHeaderLen+len(innerBytes))
+	payload := outer.Payload[:0]
+	if cap(payload) < packet.VXLANHeaderLen {
+		payload = make([]byte, 0, 2048)
+	}
+	payload = payload[:packet.VXLANHeaderLen]
 	v.Marshal(payload)
-	copy(payload[packet.VXLANHeaderLen:], innerBytes)
-
-	srcPort := uint16(inner.Key().FastHash()&0x3fff) + 49152
-	outer := &packet.Packet{
+	payload, err := inner.AppendMarshalTruncated(payload)
+	if err != nil {
+		outer.Payload = payload[:0]
+		vxlanOuterPool.Put(outer)
+		return nil, fmt.Errorf("tunnel: vxlan encap: %w", err)
+	}
+	srcPort := uint16(flowHash&0x3fff) + 49152
+	udp := outer.UDP
+	if udp == nil {
+		udp = &packet.UDPHeader{}
+	}
+	*udp = packet.UDPHeader{SrcPort: srcPort, DstPort: packet.VXLANPort}
+	*outer = packet.Packet{
 		IP:             packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
-		UDP:            &packet.UDPHeader{SrcPort: srcPort, DstPort: packet.VXLANPort},
+		UDP:            udp,
 		Payload:        payload,
 		VirtualPayload: inner.VirtualPayload,
 		Tenant:         tenant,
@@ -106,7 +170,8 @@ func VXLANEncap(src, dst packet.IP, tenant packet.TenantID, inner *packet.Packet
 }
 
 // VXLANDecap unwraps a VXLAN packet, returning the inner frame and the
-// tenant from the VNI.
+// tenant from the VNI. The caller owns the outer afterwards and should
+// Release it once the inner has been extracted.
 func VXLANDecap(outer *packet.Packet) (*packet.Packet, packet.TenantID, error) {
 	if outer.UDP == nil || outer.UDP.DstPort != packet.VXLANPort {
 		return nil, 0, fmt.Errorf("tunnel: vxlan decap: not a VXLAN packet")

@@ -74,6 +74,12 @@ type Switch struct {
 	vports   map[VMKey]*vport
 	tunnels  *rules.TunnelTable
 	fastpath *rules.ExactTable[fpVerdict]
+	// mega is the wildcard decision cache between the exact-match fast
+	// path and the user-space rule scan (see megaflow.go): slow-path
+	// verdicts are installed under the union of field masks the
+	// classification consulted, so new flows equal under that mask skip
+	// the upcall entirely.
+	mega *megaflowCache
 	// sched is the slow path's bounded-queue DRR scheduler and overload
 	// governor (see overload.go). It also coalesces concurrent misses for
 	// the same flow onto one user-space rule scan.
@@ -107,6 +113,7 @@ func New(eng *sim.Engine, cm *model.CostModel, cfg model.VSwitchConfig, serverIP
 		vports:   make(map[VMKey]*vport),
 		tunnels:  rules.NewTunnelTable(),
 		fastpath: rules.NewExactTable[fpVerdict](),
+		mega:     newMegaflowCache(DefaultMegaflowLimit),
 		sched:    newUpcallSched(DefaultOverloadConfig()),
 		HostCPU:  &metrics.CPUAccount{},
 	}
@@ -144,6 +151,16 @@ func (s *Switch) AttachVM(key VMKey, vmRules *rules.VMRules, deliver fabric.Port
 		htbExec = Inline
 	}
 	s.vports[key] = &vport{key: key, rules: vmRules, deliver: deliver, htbExec: htbExec}
+	// Wildcard verdicts covering this VM's address were computed without
+	// its rules; new flows must re-classify against the attached vport.
+	s.invalidateVMFlows(key)
+}
+
+// invalidateVMFlows flushes megaflow entries whose region touches the
+// VM's address in either direction.
+func (s *Switch) invalidateVMFlows(key VMKey) {
+	s.mega.invalidate(rules.Pattern{Tenant: key.Tenant, Src: key.IP, SrcPrefix: 32})
+	s.mega.invalidate(rules.Pattern{Tenant: key.Tenant, Dst: key.IP, DstPrefix: 32})
 }
 
 // DetachVM removes a VM (it is migrating away); its fast-path entries are
@@ -159,6 +176,7 @@ func (s *Switch) DetachVM(key VMKey) {
 	for _, k := range stale {
 		s.fastpath.Remove(k)
 	}
+	s.invalidateVMFlows(key)
 	// In-service upcalls for the VM's flows must not re-install verdicts
 	// after the detach.
 	for k, job := range s.sched.pending {
@@ -214,8 +232,11 @@ func (s *Switch) VIFRates(key VMKey) (egressBps, ingressBps float64, ok bool) {
 	return vp.egressMeter.Sample(now), vp.ingressMeter.Sample(now), true
 }
 
-// invalidate flushes fast-path entries matching a pattern; the FasTrak
-// local controller calls this when rules for offloaded flows change.
+// invalidate flushes fast-path entries matching a pattern — exact-match
+// entries the pattern covers and megaflow entries whose wildcard region
+// overlaps it (the OVS revalidation rule that keeps the cache
+// semantically transparent); the FasTrak local controller calls this when
+// rules for offloaded flows change.
 func (s *Switch) Invalidate(p rules.Pattern) int {
 	var stale []packet.FlowKey
 	s.fastpath.Entries(func(e *rules.ExactEntry[fpVerdict]) {
@@ -226,6 +247,9 @@ func (s *Switch) Invalidate(p rules.Pattern) int {
 	for _, k := range stale {
 		s.fastpath.Remove(k)
 	}
+	// Megaflow removals are accounted in CacheCounters.Invalidations; the
+	// return value counts exact-match flushes only (the seed contract).
+	s.mega.invalidate(p)
 	// A pending upcall for a covered flow must not resurrect the stale
 	// verdict when its scan completes (e.g. the DE just offloaded the flow
 	// to hardware and flushed it here): the scan still runs — its waiters
@@ -256,30 +280,43 @@ func (s *Switch) OutputFromVM(key VMKey, p *packet.Packet) {
 	p.Meta.Path = "vif"
 	cost := s.cm.VSwitchUnitCost(p.PayloadLen(), s.cfg)
 	s.exec(cost, func() {
-		s.classify(vp, p, func(v fpVerdict) {
+		// The flow key is extracted once per packet and threaded through
+		// classification and transmit (the encap reuses its hash for the
+		// VXLAN source port), never re-derived.
+		k := p.Key()
+		s.classify(vp, k, p, func(v fpVerdict) {
 			if !v.allow {
 				s.denied++
 				return
 			}
 			s.shapeEgress(vp, p, func() {
-				s.addPathLatency(&vp.egressClock, func() { s.transmit(vp, p) })
+				s.addPathLatency(&vp.egressClock, func() { s.transmit(vp, k, p) })
 			})
 		})
 	})
 }
 
 // classify resolves the packet's verdict via the fast path, falling back
-// to the user-space slow path on a miss (§2.2). Slow-path misses pass
-// through the overload governor: bounded per-VIF queues, DRR admission
-// across tenants, and (when the host is overloaded by a dominant tenant)
-// per-VIF miss-rate clamping. Packets refused at admission are dropped
-// with exact per-cause accounting.
-func (s *Switch) classify(vp *vport, p *packet.Packet, then func(fpVerdict)) {
-	k := p.Key()
+// to the user-space slow path on a miss (§2.2). Lookup order is
+// exact-match table, then the megaflow wildcard cache (a hit installs an
+// exact entry so per-flow statistics keep accruing for the ME poll), then
+// the slow path. Slow-path misses pass through the overload governor:
+// bounded per-VIF queues, DRR admission across tenants, and (when the
+// host is overloaded by a dominant tenant) per-VIF miss-rate clamping.
+// Packets refused at admission are dropped with exact per-cause
+// accounting.
+func (s *Switch) classify(vp *vport, k packet.FlowKey, p *packet.Packet, then func(fpVerdict)) {
 	if e := s.fastpath.Lookup(k); e != nil {
 		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
 		bumpSegments(e, p)
 		then(e.Value)
+		return
+	}
+	if v, ok := s.mega.lookup(k, s.eng.Now()); ok {
+		e := s.fastpath.Install(k, v)
+		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
+		bumpSegments(e, p)
+		then(v)
 		return
 	}
 	now := s.eng.Now()
@@ -334,9 +371,10 @@ func (s *Switch) pumpUpcalls() {
 // an invalidation covering the flow landed mid-scan), wake the waiters,
 // and keep the pipeline full.
 func (s *Switch) completeUpcall(job *upcallJob) {
-	v := s.evaluate(job.key)
+	v, mask := s.evaluate(job.key)
 	if job.install {
 		s.fastpath.Install(job.key, v)
+		s.mega.install(job.key, mask, v, s.eng.Now())
 	}
 	s.upcallsServed++
 	s.sched.complete(s.eng.Now(), job)
@@ -368,8 +406,11 @@ func wireSegBytes(p *packet.Packet) int { return p.WireLen() }
 
 func (s *Switch) ruleCount(k packet.FlowKey) int {
 	n := s.cfg.SecurityRules
-	for _, vp := range s.vports {
-		if vp.key.Tenant == k.Tenant && (vp.key.IP == k.Src || vp.key.IP == k.Dst) {
+	if vp, ok := s.vports[VMKey{Tenant: k.Tenant, IP: k.Src}]; ok {
+		n += len(vp.rules.Security)
+	}
+	if k.Dst != k.Src {
+		if vp, ok := s.vports[VMKey{Tenant: k.Tenant, IP: k.Dst}]; ok {
 			n += len(vp.rules.Security)
 		}
 	}
@@ -381,21 +422,31 @@ func (s *Switch) ruleCount(k packet.FlowKey) int {
 // rule-bearing endpoint denies. In the microbenchmark configurations with
 // no explicit rules, traffic is allowed (baseline OVS is a plain L2
 // switch).
-func (s *Switch) evaluate(k packet.FlowKey) fpVerdict {
+//
+// The returned FieldMask is the union of fields the decision consulted —
+// the wildcard under which the verdict may be cached. The vport probes
+// key on tenant and exact endpoint addresses, so those are always pinned;
+// each rule lookup contributes the masks of the tuple groups it visited.
+func (s *Switch) evaluate(k packet.FlowKey) (fpVerdict, rules.FieldMask) {
 	verdict := fpVerdict{allow: true}
+	mask := rules.FieldMask{Tenant: true, SrcPrefix: 32, DstPrefix: 32}
 	for _, ip := range [2]packet.IP{k.Src, k.Dst} {
 		vp, ok := s.vports[VMKey{Tenant: k.Tenant, IP: ip}]
 		if !ok || len(vp.rules.Security) == 0 {
 			continue
 		}
-		if vp.rules.Evaluate(k) != rules.Allow {
-			return fpVerdict{}
+		a, m := vp.rules.EvaluateMask(k)
+		mask = mask.Union(m)
+		if a != rules.Allow {
+			return fpVerdict{}, mask
 		}
-		if q := vp.rules.QueueFor(k); q > verdict.queue {
+		q, qm := vp.rules.QueueForMask(k)
+		mask = mask.Union(qm)
+		if q > verdict.queue {
 			verdict.queue = q
 		}
 	}
-	return verdict
+	return verdict, mask
 }
 
 // shapeEgress applies the VIF's htb: serialized qdisc cost plus token-
@@ -447,7 +498,7 @@ func (s *Switch) addPathLatency(clock *time.Duration, then func()) {
 // transmit encapsulates (when tunneling) and hands the packet to the NIC.
 // Local destination VMs are delivered directly, as a vswitch switches
 // intra-host traffic without touching the wire.
-func (s *Switch) transmit(src *vport, p *packet.Packet) {
+func (s *Switch) transmit(src *vport, k packet.FlowKey, p *packet.Packet) {
 	if dst, ok := s.vports[VMKey{Tenant: p.Tenant, IP: p.IP.Dst}]; ok {
 		s.txPackets++
 		s.deliverLocal(dst, p)
@@ -459,7 +510,7 @@ func (s *Switch) transmit(src *vport, p *packet.Packet) {
 			s.unrouted++
 			return
 		}
-		outer, err := tunnel.VXLANEncap(s.serverIP, m.Remote, p.Tenant, p)
+		outer, err := tunnel.VXLANEncapHashed(s.serverIP, m.Remote, p.Tenant, p, k.FastHash())
 		if err != nil {
 			s.unrouted++
 			return
@@ -492,13 +543,17 @@ func (s *Switch) InputFromNIC(p *packet.Packet) {
 			}
 			inner = dec
 			inner.Tenant = tenant
+			// The outer frame is dead once the inner has been extracted
+			// (decap shares no memory with it); recycle its buffers.
+			tunnel.Release(p)
 		}
 		vp, ok := s.vports[VMKey{Tenant: inner.Tenant, IP: inner.IP.Dst}]
 		if !ok {
 			s.unrouted++
 			return
 		}
-		s.classify(vp, inner, func(v fpVerdict) {
+		k := inner.Key()
+		s.classify(vp, k, inner, func(v fpVerdict) {
 			if !v.allow {
 				s.denied++
 				return
@@ -553,8 +608,14 @@ func (s *Switch) Snapshot() []FlowStats {
 	return out
 }
 
-// ExpireIdle evicts fast-path entries idle since before deadline.
-func (s *Switch) ExpireIdle(deadline time.Duration) int { return s.fastpath.Expire(deadline) }
+// ExpireIdle evicts fast-path entries idle since before deadline. Idle
+// megaflow entries expire alongside (counted as cache evictions, not in
+// the return value), so a flow that idles out of the datapath is fully
+// reclassified on its next packet — matching OVS revalidator behavior.
+func (s *Switch) ExpireIdle(deadline time.Duration) int {
+	s.mega.expire(deadline)
+	return s.fastpath.Expire(deadline)
+}
 
 // Telemetry is the switch's aggregate counter snapshot. Every packet the
 // switch intentionally discards is charged to exactly one Drops cause, so
@@ -571,6 +632,8 @@ type Telemetry struct {
 	Denied, Unrouted uint64
 	// Drops is the per-cause intentional-drop accounting.
 	Drops metrics.DropCounters
+	// Megaflow is the wildcard decision cache's hit/miss/churn accounting.
+	Megaflow metrics.CacheCounters
 }
 
 // Counters reports aggregate statistics.
@@ -583,8 +646,12 @@ func (s *Switch) Counters() Telemetry {
 		Denied:        s.denied,
 		Unrouted:      s.unrouted,
 		Drops:         s.drops,
+		Megaflow:      s.mega.stats,
 	}
 }
 
 // ActiveFlows returns the number of fast-path entries.
 func (s *Switch) ActiveFlows() int { return s.fastpath.Len() }
+
+// ActiveMegaflows returns the number of wildcard cache entries.
+func (s *Switch) ActiveMegaflows() int { return s.mega.Len() }
