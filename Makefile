@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-update clean
+.PHONY: all build test race vet bench bench-update trace experiments clean
 
 all: build test
 
@@ -27,6 +27,24 @@ bench:
 # Re-record the checked-in performance floor after an intentional change.
 bench-update:
 	scripts/bench.sh -update
+
+# Record flight-recorder traces for the two canonical scenarios and run
+# the offline analyzer over them. Open the .json files in
+# https://ui.perfetto.dev; see README §"Tracing a run".
+trace:
+	mkdir -p results
+	$(GO) run ./cmd/fastrak-sim -trace -migrate \
+		-trace-out results/fastrak-trace.json \
+		-metrics-out results/fastrak-metrics.prom \
+		-csv-out results/fastrak-series.csv
+	$(GO) run ./cmd/migrate-trace -trace-out results/fig12-trace.json \
+		> results/migrate-trace.txt
+	$(GO) run ./cmd/fastrak-trace -churn results/fastrak-trace.json
+
+# Regenerate every checked-in evaluation output (results/) plus the trace
+# artifacts CI uploads.
+experiments:
+	scripts/experiments.sh
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,14 @@
 // fault surface (links, control channels, TCAMs, TOR controllers).
 // -fault-seed drives the injector's randomness independently of -seed.
 //
+// The -trace flag enables the flight recorder and metric sampler;
+// -trace-out, -metrics-out and -csv-out write a Perfetto-loadable Chrome
+// trace, a Prometheus text snapshot and sampled time series respectively
+// (each implies -trace). -migrate live-migrates the hottest service's
+// server VM halfway through the run, so the trace shows the §4.1.2
+// pull-back / re-offload episode end to end; inspect it with
+// cmd/fastrak-trace.
+//
 // The -overload flag instead runs the canned slow-path overload scenario
 // (experiments.RunOverload): a storming tenant floods the upcall path
 // beside a well-behaved victim while the stats channel degrades, and the
@@ -52,6 +60,11 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan DSL, or \"random\" for a seeded random plan")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
 	overload := flag.Bool("overload", false, "run the canned slow-path overload scenario instead of the rack workload")
+	trace := flag.Bool("trace", false, "enable the flight recorder and metric sampler")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file (implies -trace; default results/fastrak-trace.json when -trace is set)")
+	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file (implies -trace)")
+	csvOut := flag.String("csv-out", "", "write sampled time series as CSV to this file (implies -trace)")
+	migrate := flag.Bool("migrate", false, "live-migrate the hottest service's client VM halfway through the run (exercises the §4.1.2 pull-back/re-offload protocol; defaults to true when tracing so a recorded trace always contains a migration episode — pass -migrate=false to suppress)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -102,6 +115,29 @@ func main() {
 	d, err := fastrak.NewDeployment(opts)
 	if err != nil {
 		panic(err)
+	}
+
+	// Observability: the flight recorder and sampler attach before any
+	// traffic flows so the trace covers the whole episode.
+	wantTrace := *trace || *traceOut != "" || *metricsOut != "" || *csvOut != ""
+	var tel *fastrak.Telemetry
+	if wantTrace {
+		tel = d.EnableTelemetry(fastrak.TelemetryOptions{})
+		if *traceOut == "" {
+			*traceOut = "results/fastrak-trace.json"
+		}
+		// A trace without a migration episode misses the protocol the
+		// recorder exists to explain; trace runs migrate unless the
+		// user explicitly said -migrate=false.
+		migrateSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "migrate" {
+				migrateSet = true
+			}
+		})
+		if !migrateSet {
+			*migrate = true
+		}
 	}
 
 	// Fault injection: register every surface, then apply the plan.
@@ -168,6 +204,26 @@ func main() {
 		})
 	}
 
+	// Live migration: move the hottest service's server VM (the last
+	// service of the first tenant — highest rate, so its flow is
+	// offloaded) to the next server halfway through the run. The rule
+	// manager pulls its express lane back first (§4.1.2), which is the
+	// episode the flight recorder is built to explain.
+	if *migrate {
+		hot := svcs[*flows-1]
+		from := (2*(*flows-1) + 1) % *servers
+		to := (from + 1) % *servers
+		ip := hot.dst.String()
+		d.Cluster.Eng.After(*duration/2, func() {
+			if err := d.MigrateVM(from, to, hot.tenant, ip); err != nil {
+				fmt.Fprintf(os.Stderr, "fastrak-sim: migrate: %v\n", err)
+				return
+			}
+			fmt.Printf("t=%-8v migrated tenant %d VM %s: server %d -> %d\n",
+				d.Now().Round(time.Millisecond), hot.tenant, ip, from, to)
+		})
+	}
+
 	d.Start()
 	steps := 10
 	for i := 0; i < steps; i++ {
@@ -220,6 +276,25 @@ func main() {
 		}
 		fmt.Printf("recovery: %d install retries, %d give-ups, %d reconcile repairs, %d orphan removals, %d controller crashes, %d control messages dropped\n",
 			retries, giveups, repairs, orphans, crashes, dropped)
+	}
+
+	if tel != nil {
+		written, retained := tel.Recorder.Recorded()
+		fmt.Printf("\ntelemetry: %d events recorded (%d retained), %d metrics, %d samples\n",
+			written, retained, tel.Registry.Len(), tel.Sampler.Samples())
+		write := func(what, path string, fn func(string) error) {
+			if path == "" {
+				return
+			}
+			if err := fn(path); err != nil {
+				fmt.Fprintf(os.Stderr, "fastrak-sim: write %s: %v\n", what, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %s -> %s\n", what, path)
+		}
+		write("trace", *traceOut, tel.WriteTrace)
+		write("metrics", *metricsOut, tel.WriteMetrics)
+		write("csv", *csvOut, tel.WriteCSV)
 	}
 }
 

@@ -6,23 +6,34 @@
 // Usage:
 //
 //	migrate-trace [-shift 20ms] [-every 50] [-pcap trace.pcap]
+//	              [-trace-out trace.json]
+//
+// With -trace-out the run attaches the flight recorder to every testbed
+// component and bridges the TCP connection's trace points in as events;
+// the resulting Chrome trace JSON loads in Perfetto and parses with
+// cmd/fastrak-trace, showing the §6.2.2 reordering episode (tcam-install
+// → VIF losses → dup ACKs → fast retransmits, no timeouts) in causal
+// order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/pcap"
 	"repro/internal/tcpmodel"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	shift := flag.Duration("shift", 20*time.Millisecond, "when to offload the flow")
 	every := flag.Int("every", 50, "print every Nth in-order data point (recovery events always print)")
 	pcapPath := flag.String("pcap", "", "also capture the receiver's access link to this pcap file")
+	traceOut := flag.String("trace-out", "", "write the run's flight-recorder trace as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	var capture *pcap.Writer
@@ -41,7 +52,22 @@ func main() {
 		capture = w
 	}
 
-	res := experiments.Fig12Captured(*shift, capture)
+	var res experiments.Fig12Result
+	if *traceOut != "" {
+		var tel experiments.Fig12Telemetry
+		res, tel = experiments.Fig12Traced(*shift, capture)
+		err := telemetry.WriteFile(*traceOut, func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(w, tel.Recorder, tel.Sampler)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		written, retained := tel.Recorder.Recorded()
+		fmt.Printf("# flight recorder: %d events (%d retained) -> %s\n", written, retained, *traceOut)
+	} else {
+		res = experiments.Fig12Captured(*shift, capture)
+	}
 	if capture != nil {
 		fmt.Printf("# captured %d frames to %s\n", capture.Packets(), *pcapPath)
 	}

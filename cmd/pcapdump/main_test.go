@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/pcap"
+	"repro/internal/tunnel"
+)
+
+// capture writes the given packets into an in-memory pcap and reads the
+// records back, returning one Record per packet.
+func capture(t *testing.T, pkts ...*packet.Packet) []pcap.Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []pcap.Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func tcpPacket() *packet.Packet {
+	p := packet.NewTCP(7, packet.MustParseIP("10.7.0.1"), packet.MustParseIP("10.7.0.2"), 40000, 11211, 64)
+	p.TCP.Seq = 1000
+	p.TCP.Ack = 2000
+	return p
+}
+
+func TestDescribePlainTCP(t *testing.T) {
+	recs := capture(t, tcpPacket())
+	got := describe(recs[0])
+	for _, want := range []string{"10.7.0.1.40000 > 10.7.0.2.11211", "Flags", "seq 1000", "ack 2000", "length 64"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("describe() = %q; missing %q", got, want)
+		}
+	}
+}
+
+func TestDescribePlainUDP(t *testing.T) {
+	recs := capture(t, packet.NewUDP(3, packet.MustParseIP("10.3.0.1"), packet.MustParseIP("10.3.0.2"), 5000, 53, 120))
+	got := describe(recs[0])
+	for _, want := range []string{"10.3.0.1.5000 > 10.3.0.2.53", "UDP", "length 120"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("describe() = %q; missing %q", got, want)
+		}
+	}
+}
+
+func TestDescribeVLANTagged(t *testing.T) {
+	p := tcpPacket()
+	p.VLAN = &packet.VLAN{ID: 42}
+	recs := capture(t, p)
+	got := describe(recs[0])
+	if !strings.HasPrefix(got, "vlan 42 ") {
+		t.Errorf("describe() = %q; expected vlan 42 prefix", got)
+	}
+	if !strings.Contains(got, "10.7.0.1.40000 > 10.7.0.2.11211") {
+		t.Errorf("describe() = %q; missing inner flow", got)
+	}
+}
+
+func TestDescribeGRE(t *testing.T) {
+	inner := tcpPacket()
+	outer, err := tunnel.GREEncap(packet.MustParseIP("192.168.0.1"), packet.MustParseIP("192.168.0.2"), inner.Tenant, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := capture(t, outer)
+	got := describe(recs[0])
+	for _, want := range []string{"GRE 192.168.0.1 > 192.168.0.2", "tenant 7", "10.7.0.1.40000 > 10.7.0.2.11211"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("describe() = %q; missing %q", got, want)
+		}
+	}
+}
+
+func TestDescribeVXLAN(t *testing.T) {
+	inner := tcpPacket()
+	outer, err := tunnel.VXLANEncap(packet.MustParseIP("172.16.0.1"), packet.MustParseIP("172.16.0.2"), inner.Tenant, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := capture(t, outer)
+	got := describe(recs[0])
+	for _, want := range []string{"VXLAN 172.16.0.1 > 172.16.0.2", "vni 7", "10.7.0.1.40000 > 10.7.0.2.11211"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("describe() = %q; missing %q", got, want)
+		}
+	}
+}
+
+func TestDescribeTruncatedTunnelInner(t *testing.T) {
+	inner := tcpPacket()
+	outer, err := tunnel.GREEncap(packet.MustParseIP("192.168.0.1"), packet.MustParseIP("192.168.0.2"), inner.Tenant, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, _ := pcap.NewWriter(&buf, 48) // keep the outer headers, cut the inner frame
+	if err := w.WritePacket(0, outer); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := pcap.NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := describe(rec)
+	if !strings.Contains(got, "[inner undecodable]") && !strings.Contains(got, "undecodable") {
+		t.Errorf("describe() = %q; expected an undecodable marker", got)
+	}
+}
+
+func TestDescribeUndecodableBytes(t *testing.T) {
+	got := describe(pcap.Record{Data: []byte{0x01, 0x02, 0x03}, OrigLen: 3})
+	if !strings.Contains(got, "undecodable") {
+		t.Errorf("describe() = %q; expected undecodable marker", got)
+	}
+}

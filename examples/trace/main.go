@@ -1,0 +1,121 @@
+// Flight-recorder walkthrough: run a two-tenant deployment with a
+// mid-run VM migration under full telemetry, export the three formats
+// (Chrome trace JSON for Perfetto, Prometheus text, CSV series), then
+// read the trace back and print the migrated tenant's control-plane
+// story — upcall → offload-decision → flowmod-send → tcam-install →
+// migration — the same view `cmd/fastrak-trace -flows` gives offline.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/host"
+	"repro/internal/packet"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	d, err := fastrak.NewDeployment(fastrak.Options{
+		Servers: 3,
+		Seed:    7,
+		Controller: fastrak.ControllerOptions{
+			Epoch: 100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	tel := d.EnableTelemetry(fastrak.TelemetryOptions{
+		SampleInterval: 25 * time.Millisecond,
+	})
+
+	// Two tenants; tenant 7's server is the hot one that migrates.
+	type svc struct {
+		tenant   uint32
+		cIP, sIP string
+		cSrv     int
+		sSrv     int
+		period   time.Duration
+	}
+	for _, s := range []svc{
+		{7, "10.7.0.1", "10.7.0.2", 0, 1, 200 * time.Microsecond},
+		{8, "10.8.0.1", "10.8.0.2", 1, 2, 2 * time.Millisecond},
+	} {
+		client, err := d.AddVM(s.cSrv, s.tenant, s.cIP, fastrak.VMOptions{})
+		if err != nil {
+			panic(err)
+		}
+		server, err := d.AddVM(s.sSrv, s.tenant, s.sIP, fastrak.VMOptions{})
+		if err != nil {
+			panic(err)
+		}
+		server.BindApp(9000, host.AppFunc(func(vm *host.VM, p *packet.Packet) {
+			vm.Send(p.IP.Src, 9000, p.TCP.SrcPort, 256, host.SendOptions{Seq: p.Meta.Seq}, nil)
+		}))
+		dst := server.Key.IP
+		d.Cluster.Eng.Every(s.period, func() {
+			client.Send(dst, 40000, 9000, 128, host.SendOptions{}, nil)
+		})
+	}
+	d.Cluster.Eng.After(700*time.Millisecond, func() {
+		if err := d.MigrateVM(1, 2, 7, "10.7.0.2"); err != nil {
+			panic(err)
+		}
+	})
+
+	d.Start()
+	d.Run(1500 * time.Millisecond)
+	d.Stop()
+
+	for _, out := range []struct {
+		path  string
+		write func(string) error
+	}{
+		{"trace-example.json", tel.WriteTrace},
+		{"trace-example.prom", tel.WriteMetrics},
+		{"trace-example.csv", tel.WriteCSV},
+	} {
+		if err := out.write(out.path); err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote %s\n", out.path)
+	}
+	written, retained := tel.Recorder.Recorded()
+	fmt.Printf("flight recorder: %d events (%d retained), %d metrics, %d samples\n\n",
+		written, retained, tel.Registry.Len(), tel.Sampler.Samples())
+
+	// Read the trace back — what cmd/fastrak-trace does — and show
+	// tenant 7's control-plane milestones in causal (Seq) order.
+	events, scopes, err := telemetry.ReadChromeTraceFile("trace-example.json")
+	if err != nil {
+		panic(err)
+	}
+	milestones := map[string]bool{
+		"upcall": true, "offload-decision": true, "flowmod-send": true,
+		"barrier-confirm": true, "tcam-install": true, "tcam-remove": true,
+		"migration-start": true, "migration-end": true,
+	}
+	var story []telemetry.TraceEvent
+	seen := map[string]bool{}
+	for _, te := range events {
+		if te.Args == nil || te.Args.Tenant != 7 || !milestones[te.Args.Kind] {
+			continue
+		}
+		// First occurrence of each kind tells the story; repeats are churn.
+		if seen[te.Args.Kind] && te.Args.Kind != "tcam-install" && te.Args.Kind != "tcam-remove" {
+			continue
+		}
+		seen[te.Args.Kind] = true
+		story = append(story, te)
+	}
+	sort.Slice(story, func(i, j int) bool { return story[i].Args.Seq < story[j].Args.Seq })
+	fmt.Println("tenant 7 control-plane story (open trace-example.json in ui.perfetto.dev for the full picture):")
+	for _, te := range story {
+		fmt.Printf("  %-12s %-18s %s\n",
+			time.Duration(te.Ts*float64(time.Microsecond)).Round(time.Microsecond),
+			te.Args.Kind, scopes[te.Tid])
+	}
+}

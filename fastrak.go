@@ -20,6 +20,7 @@ package fastrak
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/cluster"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/packet"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 )
 
 // Options configures a deployment.
@@ -78,8 +80,89 @@ type Deployment struct {
 	Cluster *cluster.Cluster
 	// Manager is the FasTrak rule manager.
 	Manager *core.Manager
+	// Telemetry is the observability subsystem; nil until EnableTelemetry.
+	Telemetry *Telemetry
 
 	vms map[string]*host.VM
+}
+
+// TelemetryOptions tunes the observability subsystem.
+type TelemetryOptions struct {
+	// ShardCapacity is each flight-recorder ring's event capacity
+	// (default 4096; the newest events win on overflow).
+	ShardCapacity int
+	// HitSampleEvery records every Nth per-packet cache hit (default
+	// 1024; 1 records every hit — expensive at line rate).
+	HitSampleEvery int
+	// SampleInterval is the registry-walk period on the sim clock
+	// (default 100ms; 0 keeps the default, negative disables sampling).
+	SampleInterval time.Duration
+}
+
+// Telemetry bundles the deployment's observability subsystem: the flight
+// recorder (structured events), the metric registry, and the time-series
+// sampler ticking on the sim clock.
+type Telemetry struct {
+	Recorder *telemetry.Recorder
+	Registry *telemetry.Registry
+	Sampler  *telemetry.Sampler
+}
+
+// EnableTelemetry attaches the flight recorder and metric registry to
+// every component of the deployment — each server's vswitch, NIC and
+// access links, each rack's ToR, and every FasTrak controller — and
+// starts a sampler walking the registry on the sim clock. Idempotent:
+// repeated calls return the existing subsystem. Call before Start/Run so
+// the trace covers the whole episode.
+func (d *Deployment) EnableTelemetry(opts TelemetryOptions) *Telemetry {
+	if d.Telemetry != nil {
+		return d.Telemetry
+	}
+	eng := d.Cluster.Eng
+	rec := telemetry.NewRecorder(eng.Now, telemetry.Config{
+		ShardCapacity:  opts.ShardCapacity,
+		HitSampleEvery: opts.HitSampleEvery,
+	})
+	reg := telemetry.NewRegistry()
+	d.Cluster.AttachTelemetry(rec, reg)
+	d.Manager.AttachTelemetry(rec, reg)
+	t := &Telemetry{Recorder: rec, Registry: reg}
+	if opts.SampleInterval >= 0 {
+		interval := opts.SampleInterval
+		if interval == 0 {
+			interval = 100 * time.Millisecond
+		}
+		t.Sampler = telemetry.NewSampler(reg, interval)
+		t.Sampler.Tick(eng.Now())
+		eng.Every(interval, func() { t.Sampler.Tick(eng.Now()) })
+	}
+	d.Telemetry = t
+	return t
+}
+
+// WriteTrace renders the flight recorder (and counter tracks, when the
+// sampler ran) as Chrome trace-event JSON, loadable in Perfetto /
+// chrome://tracing. Parent directories are created as needed.
+func (t *Telemetry) WriteTrace(path string) error {
+	return telemetry.WriteFile(path, func(w io.Writer) error {
+		return telemetry.WriteChromeTrace(w, t.Recorder, t.Sampler)
+	})
+}
+
+// WriteMetrics renders the registry's current values in Prometheus text
+// exposition format.
+func (t *Telemetry) WriteMetrics(path string) error {
+	return telemetry.WriteFile(path, func(w io.Writer) error {
+		return telemetry.WritePrometheus(w, t.Registry)
+	})
+}
+
+// WriteCSV renders the sampler's time series in long CSV form
+// (metric,labels,type,at_us,value).
+func (t *Telemetry) WriteCSV(path string) error {
+	return telemetry.WriteFile(path, func(w io.Writer) error {
+		return telemetry.WriteSeriesCSV(w, t.Sampler)
+	})
 }
 
 // NewDeployment builds the testbed and attaches the rule manager.

@@ -1,0 +1,34 @@
+// Telemetry attachment for the assembled testbed: one flight-recorder
+// scope and one metric-label set per component instance, so a merged
+// trace reads "vswitch/0 upcall → torctl/0 offload-decision → tor/0
+// tcam-install" and the registry can be sliced per server or rack.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// AttachTelemetry attaches flight-recorder scopes and registers metrics
+// for every data-plane component of the testbed: each rack's ToR, and
+// each server's vswitch, NIC and access-link pair. Either argument may be
+// nil (events-only or metrics-only attachment). The rule manager's
+// controllers attach separately via core.Manager.AttachTelemetry.
+func (c *Cluster) AttachTelemetry(rec *telemetry.Recorder, reg *telemetry.Registry) {
+	for r, t := range c.TORs {
+		t.SetRecorder(rec.Scope(fmt.Sprintf("tor/%d", r)))
+		t.RegisterMetrics(reg, fmt.Sprintf("rack=%d", r))
+	}
+	for i, srv := range c.Servers {
+		lbl := fmt.Sprintf("server=%d", i)
+		srv.VSwitch.SetRecorder(rec.Scope(fmt.Sprintf("vswitch/%d", i)))
+		srv.VSwitch.RegisterMetrics(reg, lbl)
+		srv.NIC.SetRecorder(rec.Scope(fmt.Sprintf("nic/%d", i)))
+		srv.NIC.RegisterMetrics(reg, lbl)
+		c.uplinks[i].SetRecorder(rec.Scope(fmt.Sprintf("uplink/%d", i)))
+		c.uplinks[i].RegisterMetrics(reg, "dir=up", lbl)
+		c.downlinks[i].SetRecorder(rec.Scope(fmt.Sprintf("downlink/%d", i)))
+		c.downlinks[i].RegisterMetrics(reg, "dir=down", lbl)
+	}
+}

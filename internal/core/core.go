@@ -25,6 +25,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/packet"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/vswitch"
 )
 
@@ -106,6 +107,10 @@ type Manager struct {
 
 	// limits registers tenant-purchased aggregate rates per VM.
 	limits map[vswitch.VMKey]aggregateLimit
+
+	// rec is the manager-level flight-recorder scope (migration episodes);
+	// nil when telemetry is disabled.
+	rec *telemetry.Scoped
 
 	started bool
 }
@@ -236,6 +241,13 @@ func (m *Manager) SetVMLimit(tenant packet.TenantID, vmIP packet.IP, egressBps, 
 // with the VM, and after the move the flows become eligible for offload
 // at the destination.
 func (m *Manager) MigrateVM(fromIdx, toIdx int, tenant packet.TenantID, vmIP packet.IP) error {
+	if m.rec != nil {
+		m.rec.Record(telemetry.Event{
+			Kind: telemetry.KindMigrationStart, Tenant: tenant,
+			Cause: fmt.Sprintf("%d:%s", tenant, vmIP),
+			V1:    float64(fromIdx), V2: float64(toIdx),
+		})
+	}
 	// 1. Pull every offloaded rule touching this VM back to software —
 	// at every rack, since remote racks hold the matching ACLs for
 	// cross-rack express lanes.
@@ -256,6 +268,13 @@ func (m *Manager) MigrateVM(fromIdx, toIdx int, tenant packet.TenantID, vmIP pac
 	// the network characteristics of any new VM", §4.3.1).
 	if toIdx >= 0 && toIdx < len(m.Locals) {
 		m.Locals[toIdx].me.ImportProfile(prof)
+	}
+	if m.rec != nil {
+		m.rec.Record(telemetry.Event{
+			Kind: telemetry.KindMigrationEnd, Tenant: tenant,
+			Cause: fmt.Sprintf("%d:%s", tenant, vmIP),
+			V1:    float64(fromIdx), V2: float64(toIdx),
+		})
 	}
 	return nil
 }

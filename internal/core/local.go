@@ -9,6 +9,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/openflow"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/vswitch"
 )
 
@@ -43,6 +44,9 @@ type LocalController struct {
 	FlowMods uint64
 	// Hints counts overload-signal transitions forwarded to the TOR DE.
 	Hints uint64
+
+	// rec is the flight-recorder scope; nil when telemetry is disabled.
+	rec *telemetry.Scoped
 }
 
 func newLocalController(m *Manager, srv *host.Server) *LocalController {
@@ -70,6 +74,14 @@ func newLocalController(m *Manager, srv *host.Server) *LocalController {
 // offload as the relief valve for vswitch overload).
 func (lc *LocalController) onOverload(sig vswitch.OverloadSignal) {
 	lc.Hints++
+	if lc.rec != nil {
+		cause := "recovered"
+		if sig.Overloaded {
+			cause = "overloaded"
+		}
+		lc.rec.Record(telemetry.Event{Kind: telemetry.KindHint, Cause: cause,
+			Tenant: sig.Offender, V1: sig.Utilization, V2: sig.MissPPS})
+	}
 	lc.toTOR.Send(&openflow.OverloadHint{
 		ServerID:   uint32(lc.server.ID),
 		Tenant:     sig.Offender,
@@ -104,6 +116,10 @@ func (lc *LocalController) readDatapath() []measure.Reading {
 func (lc *LocalController) sendReport(rep openflow.DemandReport) {
 	rep.Splits = lc.pendingSplits
 	lc.pendingSplits = nil
+	if lc.rec != nil {
+		lc.rec.Record(telemetry.Event{Kind: telemetry.KindReportSent,
+			V1: float64(len(rep.Entries)), V2: float64(rep.Interval)})
+	}
 	for _, chunk := range openflow.ChunkDemandReport(rep) {
 		chunk := chunk
 		lc.toTOR.Send(&chunk)

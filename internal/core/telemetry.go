@@ -1,0 +1,72 @@
+// Flight-recorder and metric-registry wiring for the rule manager. One
+// recorder scope per controller ("torctl/<rack>", "local/<server>", plus
+// "manager" for cluster-wide episodes like VM migration) keeps control-
+// plane causality — decision → FLOW_MOD → barrier confirm → announce —
+// readable straight off the merged trace.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// AttachTelemetry attaches flight-recorder scopes to every controller and
+// registers the manager's counters with the central registry. Either
+// argument may be nil (events-only or metrics-only attachment).
+func (m *Manager) AttachTelemetry(rec *telemetry.Recorder, reg *telemetry.Registry) {
+	m.rec = rec.Scope("manager")
+	for r, tc := range m.TORCtls {
+		tc.rec = rec.Scope(fmt.Sprintf("torctl/%d", r))
+		tc.registerMetrics(reg, fmt.Sprintf("rack=%d", r))
+	}
+	for i, lc := range m.Locals {
+		lc.rec = rec.Scope(fmt.Sprintf("local/%d", i))
+		lc.registerMetrics(reg, fmt.Sprintf("server=%d", i))
+	}
+}
+
+func (tc *TORController) registerMetrics(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	lbl := func(extra ...string) []string {
+		return append(append([]string(nil), labels...), extra...)
+	}
+	reg.Counter("fastrak_torctl_decisions_total", "DE runs", &tc.Decisions, lbl()...)
+	reg.Counter("fastrak_torctl_installs_total", "barrier-confirmed hardware installs", &tc.Installs, lbl()...)
+	reg.Counter("fastrak_torctl_retries_total", "install re-sends after rejection or timeout", &tc.Retries, lbl()...)
+	reg.Counter("fastrak_torctl_giveups_total", "installs abandoned after the attempt budget", &tc.GiveUps, lbl()...)
+	reg.Counter("fastrak_torctl_repairs_total", "desired rules reconciliation re-asserted", &tc.Repairs, lbl()...)
+	reg.Counter("fastrak_torctl_orphans_total", "unowned hardware rules swept", &tc.Orphans, lbl()...)
+	reg.Counter("fastrak_torctl_crashes_total", "controller crashes", &tc.Crashes, lbl()...)
+	reg.Counter("fastrak_torctl_demotes_total", "confirmed patterns demoted to software", &tc.Demotes, lbl()...)
+	reg.Counter("fastrak_torctl_stats_gaps_total", "skipped demand-report interval sequence numbers", &tc.StatsGaps, lbl()...)
+	reg.Counter("fastrak_torctl_hints_total", "overload hints received", &tc.Hints, lbl()...)
+	reg.Gauge("fastrak_torctl_offloaded", "barrier-confirmed hardware patterns", func() float64 { return float64(len(tc.offloaded)) }, lbl()...)
+	reg.Gauge("fastrak_torctl_installing", "installs awaiting barrier confirmation", func() float64 { return float64(len(tc.installing)) }, lbl()...)
+	reg.Gauge("fastrak_torctl_removing", "demoted patterns awaiting gated ACL removal", func() float64 { return float64(len(tc.removing)) }, lbl()...)
+	// The damper is replaced on Crash, so read through tc rather than
+	// capturing the current instance's field addresses.
+	reg.Register(telemetry.Metric{Name: "fastrak_torctl_flap_transitions_total",
+		Help: "penalized offload-state transitions", Type: telemetry.TypeCounter, Labels: lbl(),
+		Read: func() float64 { return float64(tc.damper.Transitions) }})
+	reg.Register(telemetry.Metric{Name: "fastrak_torctl_flap_suppressions_total",
+		Help: "offload-state transitions vetoed by the damper", Type: telemetry.TypeCounter, Labels: lbl(),
+		Read: func() float64 { return float64(tc.damper.Suppressions) }})
+}
+
+func (lc *LocalController) registerMetrics(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	lbl := func(extra ...string) []string {
+		return append(append([]string(nil), labels...), extra...)
+	}
+	reg.Counter("fastrak_local_flowmods_total", "placer programming operations", &lc.FlowMods, lbl()...)
+	reg.Counter("fastrak_local_hints_total", "overload-signal transitions forwarded to the TOR DE", &lc.Hints, lbl()...)
+	reg.Counter("fastrak_local_me_samples_total", "datapath samples taken by the ME", &lc.me.Samples, lbl()...)
+	reg.Counter("fastrak_local_me_reports_lost_total", "demand reports dropped by the stats fault surface", &lc.me.ReportsLost, lbl()...)
+	reg.Counter("fastrak_local_me_reports_delayed_total", "demand reports delayed by the stats fault surface", &lc.me.ReportsDelayed, lbl()...)
+	reg.Gauge("fastrak_local_placements", "placer redirection rules installed", func() float64 { return float64(len(lc.installed)) }, lbl()...)
+}

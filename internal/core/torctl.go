@@ -10,6 +10,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/rules"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tor"
 	"repro/internal/vswitch"
 )
@@ -174,6 +175,9 @@ type TORController struct {
 	stopped bool
 	crashed bool
 
+	// rec is the flight-recorder scope; nil when telemetry is disabled.
+	rec *telemetry.Scoped
+
 	// Decisions counts DE runs (controller-cost experiment). The
 	// remaining counters instrument the recovery machinery.
 	Decisions uint64
@@ -260,6 +264,10 @@ func (tc *TORController) Crash() {
 	}
 	tc.crashed = true
 	tc.Crashes++
+	if tc.rec != nil {
+		tc.rec.Record(telemetry.Event{Kind: telemetry.KindCrash,
+			V1: float64(len(tc.offloaded)), V2: float64(len(tc.installing))})
+	}
 	if tc.ticker != nil {
 		tc.ticker.Stop()
 		tc.ticker = nil
@@ -316,6 +324,11 @@ func (tc *TORController) Restart() {
 		tc.prevHW[st.Pattern] = st.Packets
 	}
 	tc.prevHWAt = tc.mgr.Cluster.Eng.Now()
+	if tc.rec != nil {
+		// V1 is the number of hardware rules adopted as the desired set.
+		tc.rec.Record(telemetry.Event{Kind: telemetry.KindRestart,
+			V1: float64(len(tc.offloaded))})
+	}
 	if tc.mgr.started && !tc.stopped {
 		tc.start()
 	}
@@ -351,6 +364,14 @@ func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply o
 		tc.applySplits(m.Splits)
 	case *openflow.OverloadHint:
 		tc.Hints++
+		if tc.rec != nil {
+			cause := "recovered"
+			if m.Overloaded {
+				cause = "overloaded"
+			}
+			tc.rec.Record(telemetry.Event{Kind: telemetry.KindHint, Cause: cause,
+				Tenant: m.Tenant, V1: float64(m.ServerID), V2: m.MissPPS})
+		}
 		if m.Overloaded && m.Tenant != 0 {
 			// Boost the offending tenant for a bounded spell; a lost
 			// recovery hint must not pin the boost forever.
@@ -468,18 +489,37 @@ func (tc *TORController) tick() {
 	// current state until the penalty decays (internal/decision/damper.go).
 	d = tc.damper.Apply(d, current, eng.Now())
 
+	// The decision events carry the score inputs: V1 is the candidate's
+	// score, V2 the TCAM budget the DE worked against.
+	var scores map[rules.Pattern]float64
+	if tc.rec != nil {
+		scores = make(map[rules.Pattern]float64, len(cands))
+		for _, c := range cands {
+			scores[c.Pattern] = c.Score()
+		}
+	}
+
 	var actions []openflow.OffloadAction
 	for _, p := range d.Demote {
 		if tc.offloaded[p] {
+			if tc.rec != nil {
+				tc.rec.EmitPattern(telemetry.KindDemoteDecision, p.Tenant, p, "score", scores[p], float64(budget))
+			}
 			tc.beginRemove(p)
 			actions = append(actions, openflow.OffloadAction{Pattern: p, Offload: false})
 		} else if tc.installing[p] != nil {
+			if tc.rec != nil {
+				tc.rec.EmitPattern(telemetry.KindDemoteDecision, p.Tenant, p, "abort-install", scores[p], float64(budget))
+			}
 			tc.abortInstall(p)
 		}
 	}
 	for _, p := range d.Offload {
 		if tc.offloaded[p] || tc.installing[p] != nil {
 			continue // already in hardware or on its way
+		}
+		if tc.rec != nil {
+			tc.rec.EmitPattern(telemetry.KindOffloadDecision, p.Tenant, p, "score", scores[p], float64(budget))
 		}
 		// No action is announced here: placers redirect to the express
 		// lane only after the hardware confirms the install.
@@ -620,6 +660,10 @@ func (tc *TORController) sendInstall(p rules.Pattern, st *installState) {
 	mod := &openflow.FlowMod{Command: openflow.FlowAdd, Pattern: p, Priority: hwPriority, Cookie: uint64(st.queue)}
 	st.flowXID = tc.toSwitch.Send(mod)
 	tc.pendingInstall[st.flowXID] = p
+	if tc.rec != nil {
+		tc.rec.EmitPattern(telemetry.KindFlowModSend, p.Tenant, p, "flow-add",
+			float64(st.flowXID), float64(st.attempts))
+	}
 	st.barXID = tc.toSwitch.Send(&openflow.BarrierRequest{})
 	tc.pendingBarrier[st.barXID] = func() { tc.installConfirmed(p, st) }
 	st.timer = tc.mgr.Cluster.Eng.After(tc.installTimeout(), func() {
@@ -649,6 +693,10 @@ func (tc *TORController) installConfirmed(p rules.Pattern, st *installState) {
 	delete(tc.installing, p)
 	tc.offloaded[p] = true
 	tc.Installs++
+	if tc.rec != nil {
+		tc.rec.EmitPattern(telemetry.KindBarrierConfirm, p.Tenant, p, "",
+			float64(st.barXID), float64(st.attempts))
+	}
 	// Hardware state acknowledged — now, and only now, redirect placers.
 	tc.announce(openflow.OffloadAction{Pattern: p, Offload: true})
 }
@@ -692,9 +740,21 @@ func (tc *TORController) installRetry(p rules.Pattern, st *installState) {
 	if st.attempts >= tc.mgr.Cfg.MaxInstallAttempts {
 		delete(tc.installing, p)
 		tc.GiveUps++
+		if tc.rec != nil {
+			tc.rec.EmitPattern(telemetry.KindInstallGiveUp, p.Tenant, p, "attempt-budget",
+				float64(st.attempts), 0)
+		}
 		return
 	}
 	tc.Retries++
+	if tc.rec != nil {
+		cause := "timeout"
+		if st.failed {
+			cause = "rejected"
+		}
+		tc.rec.EmitPattern(telemetry.KindInstallRetry, p.Tenant, p, cause,
+			float64(st.attempts), 0)
+	}
 	st.timer = tc.mgr.Cluster.Eng.After(tc.backoff(st.attempts), func() {
 		if tc.installing[p] == st && !tc.crashed {
 			tc.sendInstall(p, st)
@@ -762,6 +822,9 @@ func (tc *TORController) beginOrphanRemove(p rules.Pattern) {
 	}
 	tc.removing[p] = st
 	tc.Orphans++
+	if tc.rec != nil {
+		tc.rec.EmitPattern(telemetry.KindOrphanSweep, p.Tenant, p, "", 0, 0)
+	}
 	eng.After(tc.demoteGrace(), tc.tryRemovals)
 }
 
@@ -861,6 +924,9 @@ func (tc *TORController) reconcile(rep *openflow.TableReply) {
 		delete(tc.offloaded, p)
 		delete(tc.prevHW, p)
 		tc.Repairs++
+		if tc.rec != nil {
+			tc.rec.EmitPattern(telemetry.KindRepair, p.Tenant, p, "missing-from-hw", 0, 0)
+		}
 		tc.announce(openflow.OffloadAction{Pattern: p, Offload: false})
 		tc.startInstall(p)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Port is anywhere a packet can be delivered. Components implement Port
@@ -114,6 +115,9 @@ type Link struct {
 	lossRng   *rand.Rand
 	downDrops uint64
 	lossDrops uint64
+
+	// rec is the flight-recorder scope; nil when telemetry is disabled.
+	rec *telemetry.Scoped
 }
 
 // NewLink builds a link to dst. queue may be nil for a default FIFO.
@@ -168,10 +172,16 @@ func (l *Link) SetLoss(prob float64, rng *rand.Rand) {
 func (l *Link) Send(q int, p *packet.Packet) {
 	if l.lossRng != nil && l.lossRng.Float64() < l.lossProb {
 		l.lossDrops++
+		if l.rec != nil {
+			l.rec.Record(telemetry.Event{Kind: telemetry.KindDrop, Cause: "loss", Tenant: p.Tenant})
+		}
 		return
 	}
 	if !l.queue.Enqueue(q, p) {
 		l.dropPkts++
+		if l.rec != nil {
+			l.rec.Record(telemetry.Event{Kind: telemetry.KindDrop, Cause: "queue-full", Tenant: p.Tenant})
+		}
 		return
 	}
 	if !l.busy && !l.down {
@@ -200,6 +210,9 @@ func (l *Link) pump() {
 			if l.down {
 				// The wire failed while p was propagating.
 				l.downDrops++
+				if l.rec != nil {
+					l.rec.Record(telemetry.Event{Kind: telemetry.KindDrop, Cause: "link-down", Tenant: p.Tenant})
+				}
 				return
 			}
 			l.dst.Input(p)

@@ -1,0 +1,29 @@
+// Flight-recorder and metric-registry wiring for links. Links are the
+// lowest layer the flight recorder sees: the only events they own are
+// drops (queue tail-drop, injected loss, down-wire loss), but their
+// tx/queue counters feed the sampler's utilization series.
+package fabric
+
+import (
+	"repro/internal/telemetry"
+)
+
+// SetRecorder attaches (or detaches) the link's flight-recorder scope.
+func (l *Link) SetRecorder(rec *telemetry.Scoped) { l.rec = rec }
+
+// RegisterMetrics registers the link's counters and gauges under
+// fastrak_link_* names with the given fixed labels (e.g. "link=up0").
+func (l *Link) RegisterMetrics(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	lbl := func(extra ...string) []string {
+		return append(append([]string(nil), labels...), extra...)
+	}
+	reg.Counter("fastrak_link_tx_packets_total", "packets serialized onto the wire", &l.txPkts, lbl()...)
+	reg.Counter("fastrak_link_tx_bytes_total", "bytes serialized onto the wire", &l.txBytes, lbl()...)
+	reg.Counter("fastrak_link_drops_total", "link drops by cause", &l.dropPkts, lbl("cause=queue-full")...)
+	reg.Counter("fastrak_link_drops_total", "link drops by cause", &l.downDrops, lbl("cause=link-down")...)
+	reg.Counter("fastrak_link_drops_total", "link drops by cause", &l.lossDrops, lbl("cause=loss")...)
+	reg.Gauge("fastrak_link_queue_depth", "egress queue occupancy", func() float64 { return float64(l.queue.Len()) }, lbl()...)
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // MaxVFs is the number of virtual functions a physical port supports
@@ -59,6 +60,9 @@ type NIC struct {
 	vfTx, vfRx uint64
 	pfTx, pfRx uint64
 	steerMiss  uint64
+
+	// rec is the flight-recorder scope; nil when telemetry is disabled.
+	rec *telemetry.Scoped
 }
 
 type vfKey struct {
@@ -163,6 +167,9 @@ func (n *NIC) Input(p *packet.Packet) {
 	f, ok := n.vfs[key]
 	if !ok {
 		n.steerMiss++
+		if n.rec != nil {
+			n.rec.Drop(p.Tenant, p.Key(), "steer-miss")
+		}
 		return
 	}
 	p.VLAN = nil // strip the tag before handing to the VM (§4.2.2)

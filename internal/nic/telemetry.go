@@ -1,0 +1,30 @@
+// Flight-recorder and metric-registry wiring for the NIC. The VF path is
+// hardware, so the only event it owns is the steering miss (a tagged
+// packet with no VF — dropped in silicon); the per-path counters feed the
+// sampler for Fig. 4-style path breakdowns.
+package nic
+
+import (
+	"repro/internal/telemetry"
+)
+
+// SetRecorder attaches (or detaches) the NIC's flight-recorder scope.
+func (n *NIC) SetRecorder(rec *telemetry.Scoped) { n.rec = rec }
+
+// RegisterMetrics registers the NIC's counters under fastrak_nic_* names
+// with the given fixed labels (e.g. "server=3").
+func (n *NIC) RegisterMetrics(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	lbl := func(extra ...string) []string {
+		return append(append([]string(nil), labels...), extra...)
+	}
+	reg.Counter("fastrak_nic_vf_tx_packets_total", "packets sent through virtual functions", &n.vfTx, lbl()...)
+	reg.Counter("fastrak_nic_vf_rx_packets_total", "packets steered to virtual functions", &n.vfRx, lbl()...)
+	reg.Counter("fastrak_nic_pf_tx_packets_total", "packets sent on the physical function", &n.pfTx, lbl()...)
+	reg.Counter("fastrak_nic_pf_rx_packets_total", "packets received on the physical function", &n.pfRx, lbl()...)
+	reg.Counter("fastrak_nic_steer_miss_total", "tagged packets with no matching VF", &n.steerMiss, lbl()...)
+	reg.Gauge("fastrak_nic_vf_count", "allocated virtual functions", func() float64 { return float64(len(n.vfs)) }, lbl()...)
+	reg.Gauge("fastrak_nic_cpu_busy_seconds", "accumulated interrupt-isolation CPU time", func() float64 { return n.HostCPU.Busy().Seconds() }, lbl()...)
+}

@@ -1,0 +1,41 @@
+package packet
+
+import "testing"
+
+// TestMarshalAllocsStayZero is the regular-test form of the
+// BENCH_BASELINE marshal floor: pooled serialization of a warm packet
+// must not allocate. Benchmarks are advisory in CI; this gate is not.
+func TestMarshalAllocsStayZero(t *testing.T) {
+	p := NewTCP(3, MustParseIP("10.0.0.1"), MustParseIP("10.0.0.2"), 40000, 11211, 600)
+	tso := NewTCP(3, MustParseIP("10.0.0.1"), MustParseIP("10.0.0.2"), 40000, 11211, 64000)
+
+	// Warm the buffer pool.
+	for i := 0; i < 8; i++ {
+		if buf, err := p.AppendMarshal(GetBuffer(0)); err == nil {
+			PutBuffer(buf)
+		}
+	}
+
+	t.Run("append-marshal", func(t *testing.T) {
+		if n := testing.AllocsPerRun(1000, func() {
+			buf, err := p.AppendMarshal(GetBuffer(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			PutBuffer(buf)
+		}); n != 0 {
+			t.Fatalf("pooled marshal allocates %v/op, want 0", n)
+		}
+	})
+	t.Run("append-marshal-truncated", func(t *testing.T) {
+		if n := testing.AllocsPerRun(1000, func() {
+			buf, err := tso.AppendMarshalTruncated(GetBuffer(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			PutBuffer(buf)
+		}); n != 0 {
+			t.Fatalf("pooled truncated marshal allocates %v/op, want 0", n)
+		}
+	})
+}

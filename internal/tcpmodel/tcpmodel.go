@@ -98,9 +98,20 @@ type Conn struct {
 
 	Stats Stats
 	Trace []TracePoint
+	// OnTrace, when set, observes every trace point as it is recorded —
+	// the bridge the telemetry flight recorder attaches to.
+	OnTrace func(TracePoint)
 	// Done fires once totalBytes are acked.
 	Done func()
 	done bool
+}
+
+// trace appends a point to the connection trace and notifies OnTrace.
+func (c *Conn) trace(tp TracePoint) {
+	c.Trace = append(c.Trace, tp)
+	if c.OnTrace != nil {
+		c.OnTrace(tp)
+	}
 }
 
 // New builds a connection sending totalBytes (0 = run until Stop) from
@@ -189,7 +200,7 @@ func (c *Conn) onData(vm *host.VM, p *packet.Packet) {
 			delete(c.outOfOrder, c.rcvNxt)
 			c.rcvNxt += uint32(sz)
 		}
-		c.Trace = append(c.Trace, TracePoint{At: c.eng.Now(), Seq: seq, Kind: TraceData})
+		c.trace(TracePoint{At: c.eng.Now(), Seq: seq, Kind: TraceData})
 		c.ackPending++
 		if c.ackPending >= 2 {
 			c.sendAck()
@@ -231,7 +242,7 @@ func (c *Conn) onAck(vm *host.VM, p *packet.Packet) {
 		return
 	}
 	ack := p.TCP.Ack
-	c.Trace = append(c.Trace, TracePoint{At: c.eng.Now(), Seq: ack, Kind: TraceAck})
+	c.trace(TracePoint{At: c.eng.Now(), Seq: ack, Kind: TraceAck})
 	switch {
 	case ack > c.sndUna:
 		c.sndUna = ack
@@ -268,7 +279,7 @@ func (c *Conn) onAck(vm *host.VM, p *packet.Packet) {
 		if c.dupAcks == 3 && !c.inRecovery {
 			// Fast retransmit + fast recovery.
 			c.Stats.FastRetransmits++
-			c.Trace = append(c.Trace, TracePoint{At: c.eng.Now(), Seq: c.sndUna, Kind: TraceFastRetransmit})
+			c.trace(TracePoint{At: c.eng.Now(), Seq: c.sndUna, Kind: TraceFastRetransmit})
 			c.ssthresh = maxf(c.cwnd/2, 2)
 			c.cwnd = c.ssthresh
 			c.inRecovery = true
@@ -309,7 +320,7 @@ func (c *Conn) onTimeout() {
 		return
 	}
 	c.Stats.Timeouts++
-	c.Trace = append(c.Trace, TracePoint{At: c.eng.Now(), Seq: c.sndUna, Kind: TraceTimeout})
+	c.trace(TracePoint{At: c.eng.Now(), Seq: c.sndUna, Kind: TraceTimeout})
 	c.ssthresh = maxf(c.cwnd/2, 2)
 	c.cwnd = 2
 	c.dupAcks = 0

@@ -1,0 +1,280 @@
+// Chrome trace-event JSON exporter and reader. The output loads directly
+// into Perfetto (ui.perfetto.dev) / chrome://tracing as a timeline: one
+// process, one named thread per recorder scope, instant events for the
+// flow/rule lifecycle, async spans for migration episodes, and counter
+// tracks from the time-series sampler. The same file is the interchange
+// format fastrak-trace parses back, so TraceEvent carries the full
+// structured payload in args.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// TraceArgs is the structured payload of one exported event. JSON field
+// order (struct order) is fixed, keeping exports byte-deterministic.
+type TraceArgs struct {
+	Seq    uint64  `json:"seq"`
+	Kind   string  `json:"kind"`
+	Cause  string  `json:"cause,omitempty"`
+	Tenant uint32  `json:"tenant,omitempty"`
+	Src    string  `json:"src,omitempty"`
+	Dst    string  `json:"dst,omitempty"`
+	SPort  uint16  `json:"sport,omitempty"`
+	DPort  uint16  `json:"dport,omitempty"`
+	Proto  uint8   `json:"proto,omitempty"`
+	Pat    string  `json:"pat,omitempty"`
+	V1     float64 `json:"v1,omitempty"`
+	V2     float64 `json:"v2,omitempty"`
+}
+
+// TraceEvent is one Chrome trace-event JSON object. Only the fields the
+// testbed uses are modeled. On the wire all three payload variants live
+// under the standard "args" key (what Perfetto expects); the phase selects
+// which one: instant/span events carry Args, metadata ("M") MetaArgs, and
+// counters ("C") CtrArgs.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+	ID   string  `json:"id,omitempty"`
+	// Args is the structured flight-recorder payload (ph "i"/"b"/"e").
+	Args *TraceArgs `json:"-"`
+	// MetaArgs carries metadata-event payloads (ph "M").
+	MetaArgs map[string]string `json:"-"`
+	// CtrArgs carries counter-event payloads (ph "C").
+	CtrArgs map[string]float64 `json:"-"`
+}
+
+// traceEventWire is the on-disk shape: identical fields, with the payload
+// as raw JSON under "args".
+type traceEventWire struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	S    string          `json:"s,omitempty"`
+	ID   string          `json:"id,omitempty"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// MarshalJSON renders the event with its phase-appropriate payload under
+// "args". encoding/json sorts map keys, so output stays deterministic.
+func (te TraceEvent) MarshalJSON() ([]byte, error) {
+	w := traceEventWire{Name: te.Name, Cat: te.Cat, Ph: te.Ph, Ts: te.Ts,
+		Pid: te.Pid, Tid: te.Tid, S: te.S, ID: te.ID}
+	var payload any
+	switch {
+	case te.Args != nil:
+		payload = te.Args
+	case te.MetaArgs != nil:
+		payload = te.MetaArgs
+	case te.CtrArgs != nil:
+		payload = te.CtrArgs
+	}
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		w.Args = b
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire shape, routing "args" by phase.
+func (te *TraceEvent) UnmarshalJSON(b []byte) error {
+	var w traceEventWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*te = TraceEvent{Name: w.Name, Cat: w.Cat, Ph: w.Ph, Ts: w.Ts,
+		Pid: w.Pid, Tid: w.Tid, S: w.S, ID: w.ID}
+	if len(w.Args) == 0 {
+		return nil
+	}
+	switch w.Ph {
+	case "M":
+		return json.Unmarshal(w.Args, &te.MetaArgs)
+	case "C":
+		return json.Unmarshal(w.Args, &te.CtrArgs)
+	default:
+		te.Args = new(TraceArgs)
+		return json.Unmarshal(w.Args, te.Args)
+	}
+}
+
+// traceFile is the top-level JSON object format.
+type traceFile struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// eventArgs converts a recorder Event into its structured trace payload.
+func eventArgs(e Event) *TraceArgs {
+	a := &TraceArgs{
+		Seq:    e.Seq,
+		Kind:   e.Kind.String(),
+		Cause:  e.Cause,
+		Tenant: uint32(e.Tenant),
+		V1:     e.V1,
+		V2:     e.V2,
+	}
+	if e.Flow != (packet.FlowKey{}) {
+		a.Src = e.Flow.Src.String()
+		a.Dst = e.Flow.Dst.String()
+		a.SPort = e.Flow.SrcPort
+		a.DPort = e.Flow.DstPort
+		a.Proto = e.Flow.Proto
+		if a.Tenant == 0 {
+			a.Tenant = uint32(e.Flow.Tenant)
+		}
+	}
+	if e.Pat != (rules.Pattern{}) {
+		a.Pat = e.Pat.String()
+	}
+	return a
+}
+
+// WriteChromeTrace renders the recorder's merged events (plus, when
+// sampler is non-nil, its series as counter tracks) as Chrome trace-event
+// JSON. Events are emitted in Seq order; one pid, one tid per scope.
+func WriteChromeTrace(w io.Writer, rec *Recorder, sampler *Sampler) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(te TraceEvent) error {
+		b, err := json.Marshal(te)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Metadata: process name and one named thread per scope.
+	if err := emit(TraceEvent{Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		MetaArgs: map[string]string{"name": "fastrak"}}); err != nil {
+		return err
+	}
+	tids := map[string]int{}
+	for i, name := range rec.Scopes() {
+		tids[name] = i + 1
+		if err := emit(TraceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			MetaArgs: map[string]string{"name": name}}); err != nil {
+			return err
+		}
+	}
+
+	// Flight-recorder events in global Seq order. Migration episodes
+	// become async spans so Perfetto draws them as bars; everything else
+	// is a thread-scoped instant.
+	var werr error
+	migID := 0
+	rec.Events(func(e Event) {
+		if werr != nil {
+			return
+		}
+		te := TraceEvent{
+			Name: e.Kind.String(),
+			Cat:  "fastrak",
+			Ph:   "i",
+			S:    "t",
+			Ts:   usec(e.At),
+			Pid:  1,
+			Tid:  tids[e.Comp],
+			Args: eventArgs(e),
+		}
+		switch e.Kind {
+		case KindMigrationStart:
+			migID++
+			te.Ph, te.S, te.Cat = "b", "", "migration"
+			te.ID = fmt.Sprintf("mig%d", migID)
+		case KindMigrationEnd:
+			te.Ph, te.S, te.Cat = "e", "", "migration"
+			te.ID = fmt.Sprintf("mig%d", migID)
+		}
+		werr = emit(te)
+	})
+	if werr != nil {
+		return werr
+	}
+
+	// Sampled series as counter tracks.
+	if sampler != nil {
+		sampler.EachSeries(func(sr *Series) {
+			if werr != nil {
+				return
+			}
+			name := sr.Metric.id()
+			for i := range sr.At {
+				if werr = emit(TraceEvent{Name: name, Ph: "C", Ts: usec(sr.At[i]),
+					Pid: 1, Tid: 0, CtrArgs: map[string]float64{"value": sr.Value[i]}}); werr != nil {
+					return
+				}
+			}
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadChromeTrace parses a trace file written by WriteChromeTrace,
+// returning its events (all phases, file order) and the tid→scope-name
+// mapping from thread_name metadata.
+func ReadChromeTrace(r io.Reader) ([]TraceEvent, map[int]string, error) {
+	var tf traceFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, nil, fmt.Errorf("telemetry: parse trace: %w", err)
+	}
+	events := make([]TraceEvent, 0, len(tf.TraceEvents))
+	threads := map[int]string{}
+	for _, raw := range tf.TraceEvents {
+		var te TraceEvent
+		if err := json.Unmarshal(raw, &te); err != nil {
+			return nil, nil, fmt.Errorf("telemetry: parse trace event: %w", err)
+		}
+		if te.Ph == "M" && te.Name == "thread_name" && te.MetaArgs != nil {
+			threads[te.Tid] = te.MetaArgs["name"]
+		}
+		events = append(events, te)
+	}
+	return events, threads, nil
+}
+
+// ReadChromeTraceFile is ReadChromeTrace over a file path.
+func ReadChromeTraceFile(path string) ([]TraceEvent, map[int]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadChromeTrace(f)
+}

@@ -1,0 +1,113 @@
+// Prometheus text-exposition and CSV exporters. Both are byte-for-byte
+// deterministic for a given registry/sampler state: series are walked in
+// sorted order and floats are rendered with strconv's shortest-round-trip
+// formatting, so identical seeds yield identical files (the determinism
+// guard hashes these exports).
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// formatValue renders a float deterministically: integers without an
+// exponent, others with shortest round-trip formatting.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry's current values in the Prometheus
+// text exposition format (v0.0.4): # HELP / # TYPE headers grouped per
+// metric name, samples sorted by label identity.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	var werr error
+	reg.Each(func(m *Metric, v float64) {
+		if werr != nil {
+			return
+		}
+		if m.Name != lastName {
+			if m.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
+			lastName = m.Name
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", m.PromID(), formatValue(v)); err != nil {
+			werr = err
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// WriteSeriesCSV renders the sampler's time series as long-format CSV:
+// one row per (metric, sample): name,labels,type,at_us,value. Long format
+// survives series joining mid-run (no ragged columns).
+func WriteSeriesCSV(w io.Writer, s *Sampler) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "metric,labels,type,at_us,value"); err != nil {
+		return err
+	}
+	var werr error
+	s.EachSeries(func(sr *Series) {
+		if werr != nil {
+			return
+		}
+		labels := ""
+		for i, l := range sr.Metric.Labels {
+			if i > 0 {
+				labels += ";"
+			}
+			labels += l
+		}
+		for i := range sr.At {
+			_, err := fmt.Fprintf(bw, "%s,%s,%s,%d,%s\n",
+				sr.Metric.Name, labels, sr.Metric.Type,
+				sr.At[i].Microseconds(), formatValue(sr.Value[i]))
+			if err != nil {
+				werr = err
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// WriteFile atomically-ish writes render output to path, creating parent
+// directories (the exporters drop files into results/).
+func WriteFile(path string, render func(io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// usec converts a sim timestamp to Chrome-trace microseconds.
+func usec(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

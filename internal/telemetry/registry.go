@@ -1,0 +1,225 @@
+// Metric registry: the central catalogue the time-series sampler and the
+// Prometheus exporter walk. Packages register named read-callbacks over
+// their existing counters — registration is cheap and read-only, so the
+// dataplane keeps its plain uint64 counters and pays nothing per packet.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MetricType distinguishes monotonically increasing counters from
+// point-in-time gauges in exports.
+type MetricType uint8
+
+const (
+	// TypeCounter only ever increases (packet counts, drops, installs).
+	TypeCounter MetricType = iota
+	// TypeGauge can move both ways (occupancy, queue depth, rates).
+	TypeGauge
+)
+
+func (t MetricType) String() string {
+	if t == TypeGauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Metric is one registered series: a Prometheus-style name, fixed labels,
+// and a read callback evaluated at sample/export time.
+type Metric struct {
+	// Name follows the fastrak_<component>_<what>[_total] convention.
+	Name string
+	// Help is the one-line description emitted as # HELP.
+	Help string
+	// Type is counter or gauge.
+	Type MetricType
+	// Labels are fixed "key=value" pairs, kept sorted for deterministic
+	// output (e.g. server="3", rack="0").
+	Labels []string
+	// Read returns the current value.
+	Read func() float64
+}
+
+// id is the unique series identity: name plus rendered label set.
+func (m *Metric) id() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	return m.Name + "{" + strings.Join(m.Labels, ",") + "}"
+}
+
+// PromID renders the Prometheus sample line identity: name{k="v",...}.
+func (m *Metric) PromID() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	parts := make([]string, len(m.Labels))
+	for i, l := range m.Labels {
+		k, v, ok := strings.Cut(l, "=")
+		if !ok {
+			k, v = l, ""
+		}
+		parts[i] = fmt.Sprintf("%s=%q", k, v)
+	}
+	return m.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// Registry is the central metric catalogue. A nil *Registry accepts (and
+// discards) registrations, so instrumented packages register
+// unconditionally.
+type Registry struct {
+	metrics []*Metric
+	byID    map[string]int
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]int)}
+}
+
+// Register adds a series. Duplicate (name, labels) registrations replace
+// the prior callback — re-attachment after controller restart is the
+// normal case, not an error. No-op on nil registry or nil Read.
+func (r *Registry) Register(m Metric) {
+	if r == nil || m.Read == nil {
+		return
+	}
+	sort.Strings(m.Labels)
+	cp := m
+	if i, ok := r.byID[cp.id()]; ok {
+		r.metrics[i] = &cp
+		return
+	}
+	r.byID[cp.id()] = len(r.metrics)
+	r.metrics = append(r.metrics, &cp)
+}
+
+// Counter is shorthand for registering a counter over a *uint64.
+func (r *Registry) Counter(name, help string, v *uint64, labels ...string) {
+	if r == nil || v == nil {
+		return
+	}
+	r.Register(Metric{Name: name, Help: help, Type: TypeCounter, Labels: labels,
+		Read: func() float64 { return float64(*v) }})
+}
+
+// Gauge is shorthand for registering a gauge callback.
+func (r *Registry) Gauge(name, help string, read func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.Register(Metric{Name: name, Help: help, Type: TypeGauge, Labels: labels, Read: read})
+}
+
+// Len returns the number of registered series.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.metrics)
+}
+
+// sortedMetrics returns the series sorted by name then label identity —
+// the deterministic walk order every exporter uses.
+func (r *Registry) sortedMetrics() []*Metric {
+	if r == nil {
+		return nil
+	}
+	ms := make([]*Metric, len(r.metrics))
+	copy(ms, r.metrics)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Name != ms[j].Name {
+			return ms[i].Name < ms[j].Name
+		}
+		return ms[i].id() < ms[j].id()
+	})
+	return ms
+}
+
+// Each walks the series in deterministic order with their current values.
+func (r *Registry) Each(fn func(m *Metric, value float64)) {
+	for _, m := range r.sortedMetrics() {
+		fn(m, m.Read())
+	}
+}
+
+// Series is one sampled time series: the metric identity plus aligned
+// (At, Value) points.
+type Series struct {
+	Metric Metric
+	At     []time.Duration
+	Value  []float64
+}
+
+// Sampler walks the registry on a fixed sim-clock interval, appending to
+// in-memory series. Drive it from the sim engine via Tick.
+type Sampler struct {
+	reg      *Registry
+	Interval time.Duration
+	series   map[string]*Series
+	order    []string
+}
+
+// NewSampler builds a sampler over reg with the given interval (the
+// interval is advisory — the caller owns scheduling — but is recorded for
+// export headers).
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	return &Sampler{reg: reg, Interval: interval, series: make(map[string]*Series)}
+}
+
+// Tick samples every registered series at sim time now. New series
+// registered since the last tick join with their first point at now.
+func (s *Sampler) Tick(now time.Duration) {
+	if s == nil {
+		return
+	}
+	s.reg.Each(func(m *Metric, v float64) {
+		id := m.id()
+		sr, ok := s.series[id]
+		if !ok {
+			sr = &Series{Metric: *m}
+			s.series[id] = sr
+			s.order = append(s.order, id)
+		}
+		sr.At = append(sr.At, now)
+		sr.Value = append(sr.Value, v)
+	})
+}
+
+// Samples returns the number of ticks taken (longest series length).
+func (s *Sampler) Samples() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, sr := range s.series {
+		if len(sr.At) > n {
+			n = len(sr.At)
+		}
+	}
+	return n
+}
+
+// EachSeries walks the sampled series sorted by metric name then identity.
+func (s *Sampler) EachSeries(fn func(*Series)) {
+	if s == nil {
+		return
+	}
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := s.series[ids[i]], s.series[ids[j]]
+		if a.Metric.Name != b.Metric.Name {
+			return a.Metric.Name < b.Metric.Name
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		fn(s.series[id])
+	}
+}

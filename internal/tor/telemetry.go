@@ -1,0 +1,33 @@
+// Flight-recorder and metric-registry wiring for the ToR. The hardware
+// path is the express lane, so its instrumentation mirrors the vswitch's:
+// every intentional drop is recorded with its cause, and rule installs/
+// rejects/removals become TCAM lifecycle events the controller's
+// FLOW_MOD/barrier events pair with in the merged trace.
+package tor
+
+import (
+	"repro/internal/telemetry"
+)
+
+// SetRecorder attaches (or detaches) the ToR's flight-recorder scope.
+func (t *TOR) SetRecorder(rec *telemetry.Scoped) { t.rec = rec }
+
+// RegisterMetrics registers the ToR's counters and gauges under
+// fastrak_tor_* names with the given fixed labels (e.g. "rack=0").
+func (t *TOR) RegisterMetrics(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	lbl := func(extra ...string) []string {
+		return append(append([]string(nil), labels...), extra...)
+	}
+	reg.Counter("fastrak_tor_drops_total", "hardware-path drops by cause", &t.aclDrops, lbl("cause=acl")...)
+	reg.Counter("fastrak_tor_drops_total", "hardware-path drops by cause", &t.rateDrops, lbl("cause=rate")...)
+	reg.Counter("fastrak_tor_drops_total", "hardware-path drops by cause", &t.noVRFDrops, lbl("cause=no-vrf")...)
+	reg.Counter("fastrak_tor_drops_total", "hardware-path drops by cause", &t.unrouted, lbl("cause=unrouted")...)
+	reg.Counter("fastrak_tor_gre_rx_total", "GRE tunnels terminated", &t.greRx, lbl()...)
+	reg.Counter("fastrak_tor_gre_tx_total", "GRE tunnels originated", &t.greTx, lbl()...)
+	reg.Counter("fastrak_tor_install_rejects_total", "ACL installs rejected by the fault hook", &t.installRejects, lbl()...)
+	reg.Gauge("fastrak_tor_tcam_used", "installed hardware rules", func() float64 { return float64(t.tcam.Len()) }, lbl()...)
+	reg.Gauge("fastrak_tor_tcam_free", "remaining hardware rule capacity", func() float64 { return float64(t.tcam.Free()) }, lbl()...)
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ratelimit"
 	"repro/internal/rules"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tunnel"
 )
 
@@ -84,6 +85,9 @@ type TOR struct {
 	// a misbehaving or exhausted TCAM controller).
 	installFault   func() error
 	installRejects uint64
+
+	// rec is the flight-recorder scope; nil when telemetry is disabled.
+	rec *telemetry.Scoped
 }
 
 // New builds a ToR with the given loopback address, TCAM capacity, and
@@ -198,14 +202,31 @@ func (t *TOR) InstallACL(e *rules.TCAMEntry) error {
 	if t.installFault != nil {
 		if err := t.installFault(); err != nil {
 			t.installRejects++
+			if t.rec != nil {
+				t.rec.EmitPattern(telemetry.KindTCAMReject, e.Pattern.Tenant, e.Pattern, "fault", float64(t.tcam.Len()), 0)
+			}
 			return err
 		}
 	}
-	return t.tcam.Insert(e)
+	err := t.tcam.Insert(e)
+	if t.rec != nil {
+		if err != nil {
+			t.rec.EmitPattern(telemetry.KindTCAMReject, e.Pattern.Tenant, e.Pattern, "full", float64(t.tcam.Len()), 0)
+		} else {
+			t.rec.EmitPattern(telemetry.KindTCAMInstall, e.Pattern.Tenant, e.Pattern, "", float64(t.tcam.Len()), 0)
+		}
+	}
+	return err
 }
 
 // RemoveACL deletes rules with the exact pattern, freeing TCAM space.
-func (t *TOR) RemoveACL(p rules.Pattern) int { return t.tcam.Remove(p) }
+func (t *TOR) RemoveACL(p rules.Pattern) int {
+	n := t.tcam.Remove(p)
+	if t.rec != nil && n > 0 {
+		t.rec.EmitPattern(telemetry.KindTCAMRemove, p.Tenant, p, "", float64(t.tcam.Len()), float64(n))
+	}
+	return n
+}
 
 // TCAMFree returns remaining hardware rule capacity.
 func (t *TOR) TCAMFree() int { return t.tcam.Free() }
@@ -323,6 +344,9 @@ func (t *TOR) fromVF(p *packet.Packet) {
 	tenant, ok := t.vlanToTenant[p.VLAN.ID]
 	if !ok {
 		t.noVRFDrops++
+		if t.rec != nil {
+			t.rec.Record(telemetry.Event{Kind: telemetry.KindDrop, Cause: "no-vrf", V1: float64(p.VLAN.ID)})
+		}
 		return
 	}
 	v := t.vrfs[tenant]
@@ -336,6 +360,9 @@ func (t *TOR) fromVF(p *packet.Packet) {
 		// interface ... the traffic will hit the default rule and be
 		// dropped at the TOR."
 		t.aclDrops++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "acl")
+		}
 		return
 	}
 	entry.Stats.Hit(p.WireLen(), t.eng.Now())
@@ -343,17 +370,26 @@ func (t *TOR) fromVF(p *packet.Packet) {
 	delay, ok := t.shape(limKey{tenant, key.Src, Egress}, p.WireLen())
 	if !ok {
 		t.rateDrops++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "rate")
+		}
 		return
 	}
 
 	m, ok := v.tunnels.Lookup(tenant, p.IP.Dst)
 	if !ok {
 		t.unrouted++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "no-tunnel")
+		}
 		return
 	}
 	outer, err := tunnel.GREEncap(t.Loopback, m.Remote, tenant, p)
 	if err != nil {
 		t.unrouted++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "encap")
+		}
 		return
 	}
 	queue := entry.Queue
@@ -376,6 +412,9 @@ func (t *TOR) terminateGRE(p *packet.Packet) {
 	inner, tenant, err := tunnel.GREDecap(p)
 	if err != nil {
 		t.unrouted++
+		if t.rec != nil {
+			t.rec.Record(telemetry.Event{Kind: telemetry.KindDrop, Cause: "gre-decap"})
+		}
 		return
 	}
 	// The outer frame is dead once the inner has been extracted (decap
@@ -385,12 +424,18 @@ func (t *TOR) terminateGRE(p *packet.Packet) {
 	v, ok := t.vrfs[tenant]
 	if !ok {
 		t.noVRFDrops++
+		if t.rec != nil {
+			t.rec.Record(telemetry.Event{Kind: telemetry.KindDrop, Cause: "no-vrf", Tenant: tenant})
+		}
 		return
 	}
 	key := inner.Key()
 	entry := t.tcam.Lookup(key)
 	if entry == nil || entry.Action != rules.Allow {
 		t.aclDrops++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "acl")
+		}
 		return
 	}
 	entry.Stats.Hit(inner.WireLen(), t.eng.Now())
@@ -398,17 +443,26 @@ func (t *TOR) terminateGRE(p *packet.Packet) {
 	delay, ok := t.shape(limKey{tenant, key.Dst, Ingress}, inner.WireLen())
 	if !ok {
 		t.rateDrops++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "rate")
+		}
 		return
 	}
 
 	serverIP, ok := v.localVMs[inner.IP.Dst]
 	if !ok {
 		t.unrouted++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "no-local-vm")
+		}
 		return
 	}
 	vlan, ok := t.tenantToVLAN[tenant]
 	if !ok {
 		t.noVRFDrops++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "no-vlan")
+		}
 		return
 	}
 	inner.VLAN = &packet.VLAN{ID: vlan}
@@ -418,6 +472,9 @@ func (t *TOR) terminateGRE(p *packet.Packet) {
 	out := t.accessPortFor(serverIP)
 	if out == nil {
 		t.unrouted++
+		if t.rec != nil {
+			t.rec.Drop(tenant, key, "no-access-port")
+		}
 		return
 	}
 	queue := entry.Queue
@@ -440,6 +497,9 @@ func (t *TOR) route(p *packet.Packet, q int) {
 	out := t.router.PortFor(p.IP.Dst)
 	if out == nil {
 		t.unrouted++
+		if t.rec != nil {
+			t.rec.Record(telemetry.Event{Kind: telemetry.KindDrop, Cause: "unrouted", Tenant: p.Tenant})
+		}
 		return
 	}
 	if ql, ok := out.(queueAware); ok {

@@ -1,0 +1,64 @@
+package vswitch
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// TestFastPathAllocsWithTelemetryDisabled is the observability overhead
+// gate the doc comment in telemetry.go promises: with the flight-recorder
+// hooks compiled into the switch but no recorder attached (SetRecorder
+// never called / called with nil), the warm per-packet classification
+// path must stay exactly 0 allocs/op. It runs as a regular test — not an
+// advisory benchmark — so a hook that builds an Event value outside its
+// nil guard fails CI loudly.
+func TestFastPathAllocsWithTelemetryDisabled(t *testing.T) {
+	sw, _ := benchSwitch(1000)
+	sw.SetRecorder(nil) // explicit: telemetry compiled in, detached
+	dst := packet.MustParseIP("10.0.9.9")
+	key := func(i int) packet.FlowKey {
+		return packet.FlowKey{
+			Tenant: 3, Src: vmA.IP, Dst: dst,
+			SrcPort: uint16(40000 + i%1000),
+			DstPort: uint16(1024 + i%40000),
+			Proto:   packet.ProtoTCP,
+		}
+	}
+
+	// Warm the wildcard cache: one slow-path evaluation's mask covers the
+	// whole port space, and an exact entry covers key(0) precisely.
+	v, mask := sw.evaluate(key(0))
+	sw.mega.install(key(0), mask, v, 0)
+	sw.fastpath.Install(key(0), v)
+
+	t.Run("megaflow-hit", func(t *testing.T) {
+		i := 0
+		if n := testing.AllocsPerRun(1000, func() {
+			i++
+			if _, ok := sw.mega.lookup(key(i), 0); !ok {
+				t.Fatal("megaflow miss on warmed region")
+			}
+		}); n != 0 {
+			t.Fatalf("warm megaflow hit allocates %v/op with telemetry disabled, want 0", n)
+		}
+	})
+	t.Run("exact-hit", func(t *testing.T) {
+		if n := testing.AllocsPerRun(1000, func() {
+			if e := sw.fastpath.Lookup(key(0)); e == nil {
+				t.Fatal("exact miss on installed key")
+			}
+		}); n != 0 {
+			t.Fatalf("exact fast-path hit allocates %v/op with telemetry disabled, want 0", n)
+		}
+	})
+	t.Run("slow-path-evaluate", func(t *testing.T) {
+		i := 0
+		if n := testing.AllocsPerRun(1000, func() {
+			i++
+			sw.evaluate(key(i))
+		}); n != 0 {
+			t.Fatalf("tuple-space evaluate allocates %v/op with telemetry disabled, want 0", n)
+		}
+	})
+}

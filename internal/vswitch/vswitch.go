@@ -20,6 +20,7 @@ import (
 	"repro/internal/ratelimit"
 	"repro/internal/rules"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tunnel"
 )
 
@@ -92,6 +93,10 @@ type Switch struct {
 	// state transition: entering overload (the "emergency offload" hint the
 	// local controller forwards to the DE), offender changes, and recovery.
 	OnOverload func(OverloadSignal)
+
+	// rec is the flight-recorder scope; nil when telemetry is disabled.
+	// Hot paths guard with a single pointer test before building events.
+	rec *telemetry.Scoped
 
 	upcalls       uint64
 	upcallsServed uint64
@@ -249,7 +254,10 @@ func (s *Switch) Invalidate(p rules.Pattern) int {
 	}
 	// Megaflow removals are accounted in CacheCounters.Invalidations; the
 	// return value counts exact-match flushes only (the seed contract).
-	s.mega.invalidate(p)
+	megaFlushed := s.mega.invalidate(p)
+	if s.rec != nil {
+		s.rec.EmitPattern(telemetry.KindInvalidate, p.Tenant, p, "", float64(len(stale)), float64(megaFlushed))
+	}
 	// A pending upcall for a covered flow must not resurrect the stale
 	// verdict when its scan completes (e.g. the DE just offloaded the flow
 	// to hardware and flushed it here): the scan still runs — its waiters
@@ -287,6 +295,9 @@ func (s *Switch) OutputFromVM(key VMKey, p *packet.Packet) {
 		s.classify(vp, k, p, func(v fpVerdict) {
 			if !v.allow {
 				s.denied++
+				if s.rec != nil {
+					s.rec.Drop(k.Tenant, k, "denied")
+				}
 				return
 			}
 			s.shapeEgress(vp, p, func() {
@@ -309,6 +320,9 @@ func (s *Switch) classify(vp *vport, k packet.FlowKey, p *packet.Packet, then fu
 	if e := s.fastpath.Lookup(k); e != nil {
 		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
 		bumpSegments(e, p)
+		if s.rec != nil {
+			s.rec.Hit(telemetry.KindExactHit, k.Tenant, k)
+		}
 		then(e.Value)
 		return
 	}
@@ -316,6 +330,10 @@ func (s *Switch) classify(vp *vport, k packet.FlowKey, p *packet.Packet, then fu
 		e := s.fastpath.Install(k, v)
 		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
 		bumpSegments(e, p)
+		if s.rec != nil {
+			s.rec.Hit(telemetry.KindMegaflowHit, k.Tenant, k)
+			s.rec.Emit(telemetry.KindExactInstall, k.Tenant, k, "megaflow", 0, 0)
+		}
 		then(v)
 		return
 	}
@@ -342,11 +360,20 @@ func (s *Switch) classify(vp *vport, k packet.FlowKey, p *packet.Packet, then fu
 	switch s.sched.admit(now, job) {
 	case admitOK:
 		s.upcalls++
+		if s.rec != nil {
+			s.rec.Emit(telemetry.KindUpcall, k.Tenant, k, "", float64(s.sched.inFlight), 0)
+		}
 		s.pumpUpcalls()
 	case admitQueueFull:
 		s.drops.UpcallQueue++
+		if s.rec != nil {
+			s.rec.Drop(k.Tenant, k, "upcall-queue")
+		}
 	case admitClamped:
 		s.drops.Clamp++
+		if s.rec != nil {
+			s.rec.Drop(k.Tenant, k, "clamp")
+		}
 	}
 	s.overloadEval()
 }
@@ -375,6 +402,10 @@ func (s *Switch) completeUpcall(job *upcallJob) {
 	if job.install {
 		s.fastpath.Install(job.key, v)
 		s.mega.install(job.key, mask, v, s.eng.Now())
+		if s.rec != nil {
+			s.rec.Emit(telemetry.KindExactInstall, job.key.Tenant, job.key, "upcall", 0, 0)
+			s.rec.Emit(telemetry.KindMegaflowInstall, job.key.Tenant, job.key, "", float64(mask.SrcPrefix), float64(mask.DstPrefix))
+		}
 	}
 	s.upcallsServed++
 	s.sched.complete(s.eng.Now(), job)
@@ -388,8 +419,19 @@ func (s *Switch) completeUpcall(job *upcallJob) {
 // overloadEval runs the overload detector and delivers any state
 // transition to the OnOverload hook.
 func (s *Switch) overloadEval() {
-	if sig, changed := s.sched.evaluate(s.eng.Now()); changed && s.OnOverload != nil {
-		s.OnOverload(sig)
+	if sig, changed := s.sched.evaluate(s.eng.Now()); changed {
+		if s.rec != nil {
+			s.rec.Record(telemetry.Event{
+				Kind:   telemetry.KindOverload,
+				Cause:  overloadCause(sig),
+				Tenant: sig.Offender,
+				V1:     sig.Utilization,
+				V2:     sig.MissPPS,
+			})
+		}
+		if s.OnOverload != nil {
+			s.OnOverload(sig)
+		}
 	}
 }
 
@@ -467,6 +509,9 @@ func (s *Switch) shapeEgress(vp *vport, p *packet.Packet, then func()) {
 		delay, ok := bucket.ReserveLimit(s.eng.Now(), p.WireLen(), maxShapeDelay)
 		if !ok {
 			s.drops.Shape++
+			if s.rec != nil {
+				s.rec.Drop(p.Tenant, p.Key(), "shape")
+			}
 			return
 		}
 		vp.egressMeter.Record(p.WireLen())
@@ -508,11 +553,17 @@ func (s *Switch) transmit(src *vport, k packet.FlowKey, p *packet.Packet) {
 		m, ok := s.tunnels.Lookup(p.Tenant, p.IP.Dst)
 		if !ok {
 			s.unrouted++
+			if s.rec != nil {
+				s.rec.Drop(k.Tenant, k, "no-tunnel")
+			}
 			return
 		}
 		outer, err := tunnel.VXLANEncapHashed(s.serverIP, m.Remote, p.Tenant, p, k.FastHash())
 		if err != nil {
 			s.unrouted++
+			if s.rec != nil {
+				s.rec.Drop(k.Tenant, k, "encap")
+			}
 			return
 		}
 		s.txPackets++
@@ -539,6 +590,9 @@ func (s *Switch) InputFromNIC(p *packet.Packet) {
 			dec, tenant, err := tunnel.VXLANDecap(p)
 			if err != nil {
 				s.unrouted++
+				if s.rec != nil {
+					s.rec.Record(telemetry.Event{Kind: telemetry.KindDrop, Cause: "decap"})
+				}
 				return
 			}
 			inner = dec
@@ -550,12 +604,18 @@ func (s *Switch) InputFromNIC(p *packet.Packet) {
 		vp, ok := s.vports[VMKey{Tenant: inner.Tenant, IP: inner.IP.Dst}]
 		if !ok {
 			s.unrouted++
+			if s.rec != nil {
+				s.rec.Drop(inner.Tenant, inner.Key(), "no-vport")
+			}
 			return
 		}
 		k := inner.Key()
 		s.classify(vp, k, inner, func(v fpVerdict) {
 			if !v.allow {
 				s.denied++
+				if s.rec != nil {
+					s.rec.Drop(k.Tenant, k, "denied")
+				}
 				return
 			}
 			s.shapeIngress(vp, inner, func() {
@@ -583,6 +643,9 @@ func (s *Switch) shapeIngress(vp *vport, p *packet.Packet, then func()) {
 		delay, ok := bucket.ReserveLimit(s.eng.Now(), p.WireLen(), maxShapeDelay)
 		if !ok {
 			s.drops.Shape++
+			if s.rec != nil {
+				s.rec.Drop(p.Tenant, p.Key(), "shape")
+			}
 			return
 		}
 		vp.ingressMeter.Record(p.WireLen())

@@ -1,0 +1,135 @@
+package fastrak
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/packet"
+	"repro/internal/telemetry"
+)
+
+// runTracedScenario builds a deterministic deployment — two tenants,
+// request/response traffic at different rates, a live migration halfway —
+// with telemetry enabled, and returns the three export byte streams.
+func runTracedScenario(t *testing.T, seed int64) (trace, prom, csv []byte) {
+	t.Helper()
+	d, err := NewDeployment(Options{Servers: 3, TCAMCapacity: 8, Seed: seed,
+		Controller: ControllerOptions{Epoch: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := d.EnableTelemetry(TelemetryOptions{SampleInterval: 50 * time.Millisecond})
+
+	type pair struct{ c, s *host.VM }
+	var pairs []pair
+	for i, spec := range []struct {
+		tenant uint32
+		cIP    string
+		sIP    string
+	}{
+		{7, "10.7.0.1", "10.7.0.2"},
+		{8, "10.8.0.1", "10.8.0.2"},
+	} {
+		c, err := d.AddVM(i%3, spec.tenant, spec.cIP, VMOptions{VCPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.AddVM((i+1)%3, spec.tenant, spec.sIP, VMOptions{VCPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.BindApp(9000, host.AppFunc(func(vm *host.VM, p *packet.Packet) {
+			vm.Send(p.IP.Src, 9000, p.TCP.SrcPort, 256, host.SendOptions{Seq: p.Meta.Seq}, nil)
+		}))
+		pairs = append(pairs, pair{c, s})
+	}
+	for i, p := range pairs {
+		p := p
+		period := time.Millisecond << uint(i) // different rates per tenant
+		d.Cluster.Eng.Every(period, func() {
+			p.c.Send(p.s.Key.IP, 40000, 9000, 128, host.SendOptions{}, nil)
+		})
+	}
+	d.Cluster.Eng.After(800*time.Millisecond, func() {
+		if err := d.MigrateVM(1, 2, 7, "10.7.0.2"); err != nil {
+			t.Errorf("migrate: %v", err)
+		}
+	})
+
+	d.Start()
+	d.Run(1500 * time.Millisecond)
+	d.Stop()
+
+	var tb, pb, cb bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&tb, tel.Recorder, tel.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WritePrometheus(&pb, tel.Registry); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteSeriesCSV(&cb, tel.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), pb.Bytes(), cb.Bytes()
+}
+
+// TestTelemetryExportsAreDeterministic is the repo's determinism guard
+// for the observability subsystem: two runs from the same seed must
+// produce byte-identical trace, Prometheus and CSV exports. Any map-order
+// leak, non-deterministic float formatting, or stray wall-clock read
+// breaks the hash equality here.
+func TestTelemetryExportsAreDeterministic(t *testing.T) {
+	t1, p1, c1 := runTracedScenario(t, 42)
+	t2, p2, c2 := runTracedScenario(t, 42)
+	for _, x := range []struct {
+		name string
+		a, b []byte
+	}{{"trace", t1, t2}, {"prometheus", p1, p2}, {"csv", c1, c2}} {
+		ha, hb := sha256.Sum256(x.a), sha256.Sum256(x.b)
+		if ha != hb {
+			t.Errorf("%s export is not deterministic: %x != %x (lens %d, %d)",
+				x.name, ha[:8], hb[:8], len(x.a), len(x.b))
+		}
+	}
+	// A different seed must actually change the trace — guards against
+	// the degenerate "deterministically empty" pass.
+	t3, _, _ := runTracedScenario(t, 43)
+	if bytes.Equal(t1, t3) {
+		t.Error("trace export is seed-independent; the recorder is not seeing the run")
+	}
+}
+
+// TestTelemetryTraceIsCausal checks the acceptance ordering on the
+// migrated tenant's hot flow: upcall -> offload-decision -> tcam-install
+// -> migration-start appear in increasing global sequence order.
+func TestTelemetryTraceIsCausal(t *testing.T) {
+	trace, _, _ := runTracedScenario(t, 42)
+	events, _, err := telemetry.ReadChromeTrace(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSeq := map[string]uint64{}
+	for _, te := range events {
+		if te.Args == nil || te.Args.Tenant != 7 {
+			continue
+		}
+		if _, ok := firstSeq[te.Args.Kind]; !ok {
+			firstSeq[te.Args.Kind] = te.Args.Seq
+		}
+	}
+	order := []string{"upcall", "offload-decision", "tcam-install", "migration-start"}
+	for i := 0; i < len(order)-1; i++ {
+		a, aok := firstSeq[order[i]]
+		b, bok := firstSeq[order[i+1]]
+		if !aok || !bok {
+			t.Fatalf("missing %q or %q events for tenant 7 (have %v)", order[i], order[i+1], firstSeq)
+		}
+		if a >= b {
+			t.Errorf("causality violated: first %q (seq %d) not before first %q (seq %d)",
+				order[i], a, order[i+1], b)
+		}
+	}
+}
