@@ -30,6 +30,14 @@
 // (experiments.RunOverload): a storming tenant floods the upcall path
 // beside a well-behaved victim while the stats channel degrades, and the
 // run reports isolation, drop accounting and convergence.
+//
+// -smartnic N equips every server with an N-entry SmartNIC rule table,
+// turning placement into the three-rung ladder software → SmartNIC →
+// TCAM; status lines then also show the NIC-tier rule count, and the
+// random fault plan draws NIC reset/corruption faults too. -tiered runs
+// the canned ladder scenario (experiments.RunTiered) instead: a
+// latecomer flow graduates through the tiers while displaced incumbents
+// demote, with full drop accounting.
 package main
 
 import (
@@ -59,7 +67,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultSpec := flag.String("faults", "", "fault plan DSL, or \"random\" for a seeded random plan")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
+	smartnic := flag.Int("smartnic", 0, "per-server SmartNIC rule-table capacity; >0 enables the NIC offload tier between the vswitch and the TCAM")
 	overload := flag.Bool("overload", false, "run the canned slow-path overload scenario instead of the rack workload")
+	tiered := flag.Bool("tiered", false, "run the canned three-tier placement-ladder scenario (experiments.RunTiered) instead of the rack workload")
 	trace := flag.Bool("trace", false, "enable the flight recorder and metric sampler")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file (implies -trace; default results/fastrak-trace.json when -trace is set)")
 	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file (implies -trace)")
@@ -101,12 +111,17 @@ func main() {
 		runOverload(*seed, *faultSeed, *duration)
 		return
 	}
+	if *tiered {
+		runTiered(*seed, *duration)
+		return
+	}
 
 	opts := fastrak.Options{
-		Servers:      *servers,
-		TCAMCapacity: *tcam,
-		Seed:         *seed,
-		Controller:   fastrak.ControllerOptions{Epoch: *epoch},
+		Servers:          *servers,
+		TCAMCapacity:     *tcam,
+		Seed:             *seed,
+		SmartNICCapacity: *smartnic,
+		Controller:       fastrak.ControllerOptions{Epoch: *epoch},
 	}
 	if *racks > 1 {
 		opts.Racks = *racks
@@ -151,6 +166,7 @@ func main() {
 			links, channels, tables, controllers := inj.Targets()
 			plan = faults.RandomPlan(*faultSeed, *duration*3/4, faults.TargetSet{
 				Links: links, Channels: channels, Tables: tables, Controllers: controllers,
+				NICs: inj.NICTargets(),
 			})
 		} else {
 			plan, err = faults.ParsePlan(*faultSpec)
@@ -229,14 +245,32 @@ func main() {
 	for i := 0; i < steps; i++ {
 		d.Run(*duration / time.Duration(steps))
 		used, capacity := d.HardwareRules()
-		fmt.Printf("t=%-8v hw-rules=%d/%d offloaded=%d\n",
-			d.Now().Round(time.Millisecond), used, capacity, len(d.Offloaded()))
+		if *smartnic > 0 {
+			fmt.Printf("t=%-8v hw-rules=%d/%d offloaded=%d nic=%d\n",
+				d.Now().Round(time.Millisecond), used, capacity, len(d.Offloaded()), len(d.NICPlaced()))
+		} else {
+			fmt.Printf("t=%-8v hw-rules=%d/%d offloaded=%d\n",
+				d.Now().Round(time.Millisecond), used, capacity, len(d.Offloaded()))
+		}
 	}
 	d.Stop()
 
 	fmt.Println("\nfinal express-lane set (highest-pps services win the TCAM):")
 	for _, p := range d.Offloaded() {
 		fmt.Println("  ", p)
+	}
+	if *smartnic > 0 {
+		fmt.Println("\nSmartNIC tier (next band down the ladder):")
+		for _, p := range d.NICPlaced() {
+			fmt.Println("  ", p)
+		}
+		var nic metrics.NICCounters
+		for _, srv := range d.Cluster.Servers {
+			if srv.SmartNIC != nil {
+				nic = nic.Add(srv.SmartNIC.Counters())
+			}
+		}
+		fmt.Printf("SmartNIC datapath: %v\n", nic)
 	}
 	msgs, bytes, samples := d.Manager.ControlStats()
 	fmt.Printf("\ncontrol plane: %d messages, %d bytes, %d datapath samples\n", msgs, bytes, samples)
@@ -327,4 +361,42 @@ func runOverload(seed, faultSeed int64, duration time.Duration) {
 		res.FlapsAtSettle, res.FlapsEnd, res.Suppressions)
 	fmt.Printf("storm offloaded mid-storm: %v; converged after faults cleared: %v\n",
 		res.StormOffloaded, res.Converged())
+}
+
+// runTiered drives the canned three-tier placement-ladder scenario and
+// prints the observed graduations, demotions and conservation figures.
+func runTiered(seed int64, duration time.Duration) {
+	res, err := experiments.RunTiered(experiments.TieredConfig{Seed: seed, Horizon: duration})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastrak-sim: tiered scenario: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("event log:")
+	for _, line := range res.Log {
+		fmt.Println("  ", line)
+	}
+	fmt.Println("\ntiers when the latecomer appeared:")
+	for _, l := range res.TiersAtSettle {
+		fmt.Println("  ", l)
+	}
+	fmt.Println("tiers at the horizon:")
+	for _, l := range res.TiersEnd {
+		fmt.Println("  ", l)
+	}
+	fmt.Println("\ngraduated nic->tcam:")
+	for _, s := range res.Graduated {
+		fmt.Println("  ", s)
+	}
+	fmt.Println("demoted under pressure:")
+	for _, s := range res.DemotedUnderPressure {
+		fmt.Println("  ", s)
+	}
+	fmt.Printf("\nSmartNIC datapath: %v\n", res.NIC)
+	fmt.Printf("placements: nic +%d -%d (reasserts %d, orphan sweeps %d), tcam +%d -%d\n",
+		res.NICPlacements, res.NICDemotes, res.NICReasserts, res.NICOrphans,
+		res.Installs, res.Demotes)
+	fmt.Printf("conservation: sent=%d delivered=%d queue=%d shape=%d rate=%d blackholed=%d unaccounted=%d\n",
+		res.Sent, res.Delivered, res.LinkQueueDrops, res.ShapeDrops, res.RateDrops,
+		res.BlackholeDrops, res.Unaccounted)
+	fmt.Printf("ladder demonstrated: %v\n", res.Passed())
 }

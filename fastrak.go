@@ -29,6 +29,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/packet"
 	"repro/internal/rules"
+	"repro/internal/smartnic"
 	"repro/internal/telemetry"
 )
 
@@ -43,6 +44,15 @@ type Options struct {
 	ServersPerRack int
 	// TCAMCapacity is the ToR's hardware rule budget (default 2000).
 	TCAMCapacity int
+	// SmartNICCapacity equips every server with a programmable SmartNIC
+	// offload tier of this many rule entries between the vswitch and the
+	// ToR TCAM (0 = no SmartNICs: the paper's 2-level deployment). Flows
+	// graduate vswitch → SmartNIC → TCAM by pps score and demote under
+	// capacity pressure; a SmartNIC miss always falls back to the vswitch.
+	SmartNICCapacity int
+	// SmartNIC overrides the full SmartNIC device model; when set,
+	// SmartNICCapacity is ignored.
+	SmartNIC *smartnic.Config
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// Tunneling enables VXLAN on the software path (default true: the
@@ -71,6 +81,12 @@ type ControllerOptions struct {
 	MinScore float64
 	// PriorityOf maps tenants to the score multiplier c (§4.3.2).
 	PriorityOf func(tenant uint32) float64
+	// NICMinScore filters flows not worth a SmartNIC entry (middle tier;
+	// only meaningful with Options.SmartNICCapacity > 0).
+	NICMinScore float64
+	// NICTenantQuota caps SmartNIC rules per tenant per host (0 = the
+	// device default quota).
+	NICTenantQuota int
 }
 
 // Deployment is an emulated multi-tenant rack under FasTrak management.
@@ -173,6 +189,12 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	nicCfg := opts.SmartNIC
+	if nicCfg == nil && opts.SmartNICCapacity > 0 {
+		def := smartnic.DefaultConfig()
+		def.Capacity = opts.SmartNICCapacity
+		nicCfg = &def
+	}
 	var c *cluster.Cluster
 	if opts.Racks > 1 {
 		c = cluster.NewMulti(cluster.MultiConfig{
@@ -182,6 +204,7 @@ func NewDeployment(opts Options) (*Deployment, error) {
 			Seed:           opts.Seed,
 			CostModel:      opts.CostModel,
 			VSwitchCfg:     model.VSwitchConfig{Tunneling: !opts.DisableTunneling},
+			SmartNIC:       nicCfg,
 		})
 	} else {
 		c = cluster.New(cluster.Config{
@@ -190,6 +213,7 @@ func NewDeployment(opts Options) (*Deployment, error) {
 			Seed:         opts.Seed,
 			CostModel:    opts.CostModel,
 			VSwitchCfg:   model.VSwitchConfig{Tunneling: !opts.DisableTunneling},
+			SmartNIC:     nicCfg,
 		})
 	}
 	cfg := core.DefaultConfig()
@@ -205,6 +229,13 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	}
 	cfg.MaxOffloads = co.MaxOffloads
 	cfg.MinScore = co.MinScore
+	cfg.NICMinScore = co.NICMinScore
+	cfg.NICTenantQuota = co.NICTenantQuota
+	if nicCfg != nil && cfg.NICTenantQuota == 0 {
+		// Mirror the device-side default quota so the DE does not place
+		// rules the NIC would reject.
+		cfg.NICTenantQuota = nicCfg.Normalized().TenantQuota
+	}
 	if co.PriorityOf != nil {
 		cfg.PriorityOf = func(t packet.TenantID) float64 { return co.PriorityOf(uint32(t)) }
 	}
@@ -314,6 +345,18 @@ func (d *Deployment) MigrateVM(from, to int, tenant uint32, ip string) error {
 // rendered as strings.
 func (d *Deployment) Offloaded() []string {
 	pats := d.Manager.OffloadedPatterns()
+	out := make([]string, len(pats))
+	for i, p := range pats {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// NICPlaced returns the patterns currently placed on the SmartNIC middle
+// tier (desired state across all racks), rendered as strings. Empty when
+// the deployment has no SmartNICs.
+func (d *Deployment) NICPlaced() []string {
+	pats := d.Manager.NICPlacedPatterns()
 	out := make([]string, len(pats))
 	for i, p := range pats {
 		out[i] = p.String()

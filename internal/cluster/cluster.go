@@ -16,6 +16,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/rules"
 	"repro/internal/sim"
+	"repro/internal/smartnic"
 	"repro/internal/tor"
 	"repro/internal/vswitch"
 )
@@ -36,6 +37,9 @@ type Config struct {
 	// QoSAccessLinks enables the ToR's egress QoS scheduler on access
 	// links; otherwise they are FIFO.
 	QoSAccessLinks bool
+	// SmartNIC, when non-nil with Capacity > 0, equips every server with
+	// a SmartNIC offload tier between the vswitch and the ToR TCAM.
+	SmartNIC *smartnic.Config
 }
 
 // Cluster is an assembled testbed.
@@ -77,13 +81,19 @@ func (c *Cluster) Downlink(idx int) *fabric.Link {
 }
 
 // RegisterFaults names every access link on the injector: "uplink<i>" is
-// server i's server→ToR link, "downlink<i>" the reverse. Control-plane
-// targets are registered separately by the rule manager
+// server i's server→ToR link, "downlink<i>" the reverse; servers with a
+// SmartNIC register it as "nic<i>" for reset/corruption faults.
+// Control-plane targets are registered separately by the rule manager
 // (core.Manager.RegisterFaults).
 func (c *Cluster) RegisterFaults(inj *faults.Injector) {
 	for i := range c.uplinks {
 		inj.RegisterLink(fmt.Sprintf("uplink%d", i), c.uplinks[i])
 		inj.RegisterLink(fmt.Sprintf("downlink%d", i), c.downlinks[i])
+	}
+	for i, s := range c.Servers {
+		if s.SmartNIC != nil {
+			inj.RegisterNIC(fmt.Sprintf("nic%d", i), s.SmartNIC)
+		}
 	}
 }
 
@@ -138,6 +148,9 @@ func New(cfg Config) *Cluster {
 			q = qos.NewScheduler(qos.DefaultConfig())
 		}
 		down := fabric.NewLink(eng, cm.LinkBps, cm.PropDelay, q, srv.NIC)
+		if cfg.SmartNIC != nil && cfg.SmartNIC.Capacity > 0 {
+			srv.AttachSmartNIC(smartnic.New(eng, *cfg.SmartNIC))
+		}
 		c.TOR.AddRoute(ip, fabric.LinkPort{L: down})
 		c.Servers = append(c.Servers, srv)
 		c.uplinks = append(c.uplinks, up)

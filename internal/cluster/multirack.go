@@ -7,6 +7,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/qos"
 	"repro/internal/sim"
+	"repro/internal/smartnic"
 	"repro/internal/tor"
 )
 
@@ -28,6 +29,9 @@ type MultiConfig struct {
 	TCAMCapacity   int
 	Seed           int64
 	QoSAccessLinks bool
+	// SmartNIC, when non-nil with Capacity > 0, equips every server with
+	// a SmartNIC offload tier (see Config.SmartNIC).
+	SmartNIC *smartnic.Config
 }
 
 // NewMulti builds a testbed of cfg.Racks racks. The returned Cluster's
@@ -74,6 +78,9 @@ func NewMulti(cfg MultiConfig) *Cluster {
 				q = qos.NewScheduler(qos.DefaultConfig())
 			}
 			down := fabric.NewLink(c.Eng, cm.LinkBps, cm.PropDelay, q, srv.NIC)
+			if cfg.SmartNIC != nil && cfg.SmartNIC.Capacity > 0 {
+				srv.AttachSmartNIC(smartnic.New(c.Eng, *cfg.SmartNIC))
+			}
 			c.TORs[rk].AddRoute(ip, fabric.LinkPort{L: down})
 			c.Servers = append(c.Servers, srv)
 			c.rackOf = append(c.rackOf, rk)

@@ -54,6 +54,18 @@ type Config struct {
 	// hardware, or none at all" (§4.3.2). SetAtomicGroup appends.
 	Groups [][]rules.Pattern
 
+	// NICMinScore filters flows not worth a SmartNIC entry on the middle
+	// tier of the software → SmartNIC → TCAM ladder (active only when
+	// servers carry SmartNICs; see cluster.Config.SmartNIC).
+	NICMinScore float64
+	// NICHysteresisRatio guards the NIC tier against thrashing; values
+	// below 1 inherit HysteresisRatio.
+	NICHysteresisRatio float64
+	// NICTenantQuota caps NIC rules per tenant per host (0 = no quota),
+	// mirroring the device-side quota in smartnic.Config so the DE does
+	// not place rules the NIC would reject.
+	NICTenantQuota int
+
 	// RetryBase seeds the exponential backoff between hardware-install
 	// retries (default 4×ControlDelay). Jitter of up to one RetryBase is
 	// drawn from the simulation RNG.
@@ -140,6 +152,9 @@ func Attach(c *cluster.Cluster, cfg Config) *Manager {
 	if cfg.DemoteGrace <= 0 {
 		cfg.DemoteGrace = 4 * cfg.ControlDelay
 	}
+	if cfg.NICHysteresisRatio < 1 {
+		cfg.NICHysteresisRatio = cfg.HysteresisRatio
+	}
 	m := &Manager{
 		Cluster: c,
 		Cfg:     cfg,
@@ -165,6 +180,7 @@ func Attach(c *cluster.Cluster, cfg Config) *Manager {
 		lc.fromTOR = toLocal
 		tc.toLocals = append(tc.toLocals, toLocal)
 		tc.localIDs = append(tc.localIDs, uint32(srv.ID))
+		tc.toLocalByID[uint32(srv.ID)] = toLocal
 	}
 	return m
 }

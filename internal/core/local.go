@@ -42,6 +42,8 @@ type LocalController struct {
 
 	// FlowMods counts placer programming operations (controller cost).
 	FlowMods uint64
+	// NICMods counts SmartNIC table programming operations.
+	NICMods uint64
 	// Hints counts overload-signal transitions forwarded to the TOR DE.
 	Hints uint64
 
@@ -103,9 +105,17 @@ func (lc *LocalController) stop()  { lc.me.Stop() }
 // the OVS datapath for active flow statistics").
 func (lc *LocalController) readDatapath() []measure.Reading {
 	snap := lc.server.VSwitch.Snapshot()
-	out := make([]measure.Reading, len(snap))
-	for i, s := range snap {
-		out[i] = measure.Reading{Key: s.Key, Packets: s.Packets, Bytes: s.Bytes}
+	out := make([]measure.Reading, 0, len(snap))
+	for _, s := range snap {
+		out = append(out, measure.Reading{Key: s.Key, Packets: s.Packets, Bytes: s.Bytes})
+	}
+	// Flows forwarded by the SmartNIC tier bypass the vswitch datapath;
+	// the NIC keeps its own per-flow counters, merged here (the ME sums
+	// readings per aggregate) so placement keeps seeing full demand.
+	if n := lc.server.SmartNIC; n != nil {
+		for _, s := range n.Snapshot() {
+			out = append(out, measure.Reading{Key: s.Key, Packets: s.Packets, Bytes: s.Bytes})
+		}
 	}
 	return out
 }
@@ -116,6 +126,13 @@ func (lc *LocalController) readDatapath() []measure.Reading {
 func (lc *LocalController) sendReport(rep openflow.DemandReport) {
 	rep.Splits = lc.pendingSplits
 	lc.pendingSplits = nil
+	// The NIC table section: what the SmartNIC actually holds and how
+	// much room it has. The TOR controller's NIC tier decides and
+	// reconciles against exactly this view.
+	if n := lc.server.SmartNIC; n != nil {
+		rep.NICFree = uint32(n.Free())
+		rep.NICPatterns = n.Patterns()
+	}
 	if lc.rec != nil {
 		lc.rec.Record(telemetry.Event{Kind: telemetry.KindReportSent,
 			V1: float64(len(rep.Entries)), V2: float64(rep.Interval)})
@@ -173,6 +190,10 @@ func (lc *LocalController) applyDecision(d *openflow.OffloadDecision) {
 		lc.lastHW[vswitch.VMKey{Tenant: r.Tenant, IP: r.VMIP}] = r
 	}
 	for _, a := range d.Actions {
+		if a.Tier == openflow.TierNIC {
+			lc.applyNICAction(a)
+			continue
+		}
 		if a.Offload {
 			lc.installPlacement(a.Pattern)
 		} else {
@@ -180,6 +201,25 @@ func (lc *LocalController) applyDecision(d *openflow.OffloadDecision) {
 		}
 	}
 	lc.adjustRateLimits()
+}
+
+// applyNICAction programs the host SmartNIC's rule table. Install
+// failures (tenant quota, a full table, injected faults) are not retried
+// here: the rule's absence from the next report's NIC section makes the
+// TOR controller re-assert or re-place it, and in the meantime the flow
+// rides the vswitch — the NIC tier's miss path is the software path, so
+// nothing is ever blackholed by a failed or missing NIC rule.
+func (lc *LocalController) applyNICAction(a openflow.OffloadAction) {
+	n := lc.server.SmartNIC
+	if n == nil {
+		return
+	}
+	lc.NICMods++
+	if a.Offload {
+		_ = n.Install(a.Pattern, 0)
+	} else {
+		n.Remove(a.Pattern)
+	}
 }
 
 // installPlacement adds the VF redirection rule to every co-resident VM

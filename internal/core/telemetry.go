@@ -23,6 +23,10 @@ func (m *Manager) AttachTelemetry(rec *telemetry.Recorder, reg *telemetry.Regist
 	for i, lc := range m.Locals {
 		lc.rec = rec.Scope(fmt.Sprintf("local/%d", i))
 		lc.registerMetrics(reg, fmt.Sprintf("server=%d", i))
+		if n := lc.server.SmartNIC; n != nil {
+			n.SetRecorder(rec.Scope(fmt.Sprintf("nic/%d", i)))
+			n.RegisterMetrics(reg, fmt.Sprintf("server=%d", i))
+		}
 	}
 }
 
@@ -43,6 +47,11 @@ func (tc *TORController) registerMetrics(reg *telemetry.Registry, labels ...stri
 	reg.Counter("fastrak_torctl_demotes_total", "confirmed patterns demoted to software", &tc.Demotes, lbl()...)
 	reg.Counter("fastrak_torctl_stats_gaps_total", "skipped demand-report interval sequence numbers", &tc.StatsGaps, lbl()...)
 	reg.Counter("fastrak_torctl_hints_total", "overload hints received", &tc.Hints, lbl()...)
+	reg.Counter("fastrak_torctl_nic_placements_total", "NIC-tier rule placements", &tc.NICPlacements, lbl()...)
+	reg.Counter("fastrak_torctl_nic_demotes_total", "NIC-tier rule retirements", &tc.NICDemotes, lbl()...)
+	reg.Counter("fastrak_torctl_nic_reasserts_total", "desired NIC rules re-asserted after vanishing", &tc.NICReasserts, lbl()...)
+	reg.Counter("fastrak_torctl_nic_orphans_total", "unowned NIC rules swept", &tc.NICOrphans, lbl()...)
+	reg.Gauge("fastrak_torctl_nic_desired", "NIC-tier desired placements", func() float64 { return float64(len(tc.nicDesired)) }, lbl()...)
 	reg.Gauge("fastrak_torctl_offloaded", "barrier-confirmed hardware patterns", func() float64 { return float64(len(tc.offloaded)) }, lbl()...)
 	reg.Gauge("fastrak_torctl_installing", "installs awaiting barrier confirmation", func() float64 { return float64(len(tc.installing)) }, lbl()...)
 	reg.Gauge("fastrak_torctl_removing", "demoted patterns awaiting gated ACL removal", func() float64 { return float64(len(tc.removing)) }, lbl()...)
@@ -64,6 +73,7 @@ func (lc *LocalController) registerMetrics(reg *telemetry.Registry, labels ...st
 		return append(append([]string(nil), labels...), extra...)
 	}
 	reg.Counter("fastrak_local_flowmods_total", "placer programming operations", &lc.FlowMods, lbl()...)
+	reg.Counter("fastrak_local_nicmods_total", "SmartNIC table programming operations", &lc.NICMods, lbl()...)
 	reg.Counter("fastrak_local_hints_total", "overload-signal transitions forwarded to the TOR DE", &lc.Hints, lbl()...)
 	reg.Counter("fastrak_local_me_samples_total", "datapath samples taken by the ME", &lc.me.Samples, lbl()...)
 	reg.Counter("fastrak_local_me_reports_lost_total", "demand reports dropped by the stats fault surface", &lc.me.ReportsLost, lbl()...)

@@ -137,6 +137,24 @@ type TORController struct {
 	// removing holds demoted patterns whose ACL removal is still gated.
 	removing map[rules.Pattern]*removeState
 
+	// nicDesired maps each NIC-tier pattern to the server whose SmartNIC
+	// should carry it (NIC rules are per-host; the middle rung of the
+	// software → SmartNIC → TCAM ladder). nicReported and nicFree cache
+	// each server's latest NIC report section; nicSeen marks servers that
+	// ever reported a SmartNIC. nicDamper is the NIC tier's own flap
+	// damper — transitions on one tier must not penalize the other. All
+	// volatile (reset on Crash): a restarted controller does not adopt NIC
+	// rules the way it adopts TCAM rules, because a swept NIC rule costs
+	// only a software spell (the NIC tier structurally falls back to the
+	// vswitch), never a blackhole.
+	nicDesired  map[rules.Pattern]uint32
+	nicReported map[uint32]map[rules.Pattern]bool
+	nicFree     map[uint32]uint32
+	nicSeen     map[uint32]bool
+	nicDamper   *decision.FlapDamper
+	// toLocalByID routes per-server NIC actions (TCAM actions broadcast).
+	toLocalByID map[uint32]*openflow.Transport
+
 	// pendingBarrier maps a BarrierRequest xid to its continuation.
 	pendingBarrier map[uint32]func()
 	// pendingInstall maps a FlowMod xid to its pattern so an ErrorMsg
@@ -203,6 +221,14 @@ type TORController struct {
 	StatsGaps uint64
 	// Hints counts OverloadHints received from local controllers.
 	Hints uint64
+	// NICPlacements and NICDemotes count NIC-tier rule placements and
+	// retirements; NICReasserts counts desired NIC rules re-asserted after
+	// dropping out of a server's report (reset/corruption faults, lost
+	// installs); NICOrphans counts reported NIC rules nobody owned.
+	NICPlacements uint64
+	NICDemotes    uint64
+	NICReasserts  uint64
+	NICOrphans    uint64
 }
 
 func newTORController(m *Manager, t *tor.TOR) *TORController {
@@ -214,6 +240,12 @@ func newTORController(m *Manager, t *tor.TOR) *TORController {
 		lastReportAt:   make(map[uint32]sim.Time),
 		smoother:       decision.NewSmoother(m.Cfg.Smoother),
 		damper:         decision.NewFlapDamper(m.Cfg.Damper),
+		nicDesired:     make(map[rules.Pattern]uint32),
+		nicReported:    make(map[uint32]map[rules.Pattern]bool),
+		nicFree:        make(map[uint32]uint32),
+		nicSeen:        make(map[uint32]bool),
+		nicDamper:      decision.NewFlapDamper(m.Cfg.Damper),
+		toLocalByID:    make(map[uint32]*openflow.Transport),
 		urgent:         make(map[packet.TenantID]sim.Time),
 		offloaded:      make(map[rules.Pattern]bool),
 		installing:     make(map[rules.Pattern]*installState),
@@ -291,6 +323,16 @@ func (tc *TORController) Crash() {
 	tc.offloaded = make(map[rules.Pattern]bool)
 	tc.installing = make(map[rules.Pattern]*installState)
 	tc.removing = make(map[rules.Pattern]*removeState)
+	// NIC-tier desired state dies with the process. After Restart the
+	// locals' reports re-surface the installed rules; with no owner they
+	// are swept as orphans and re-placed by the DE — a transient software
+	// spell for the affected flows, never a blackhole (NIC misses fall
+	// back to the vswitch by construction).
+	tc.nicDesired = make(map[rules.Pattern]uint32)
+	tc.nicReported = make(map[uint32]map[rules.Pattern]bool)
+	tc.nicFree = make(map[uint32]uint32)
+	tc.nicSeen = make(map[uint32]bool)
+	tc.nicDamper = decision.NewFlapDamper(tc.mgr.Cfg.Damper)
 	tc.pendingBarrier = make(map[uint32]func())
 	tc.pendingInstall = make(map[uint32]rules.Pattern)
 	tc.ackedSeq = make(map[uint32]uint32)
@@ -356,6 +398,18 @@ func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply o
 				tc.StatsGaps += uint64(m.Interval - last - 1)
 			}
 			tc.reports[m.ServerID] = *m
+			// The NIC table section rides the first chunk only; a server
+			// without a SmartNIC reports zero free entries and no patterns
+			// and never trips nicSeen.
+			nicSet := make(map[rules.Pattern]bool, len(m.NICPatterns))
+			for _, p := range m.NICPatterns {
+				nicSet[p] = true
+			}
+			tc.nicReported[m.ServerID] = nicSet
+			tc.nicFree[m.ServerID] = m.NICFree
+			if m.NICFree > 0 || len(m.NICPatterns) > 0 {
+				tc.nicSeen[m.ServerID] = true
+			}
 		}
 		if m.Interval > tc.lastInterval[m.ServerID] {
 			tc.lastInterval[m.ServerID] = m.Interval
@@ -478,16 +532,27 @@ func (tc *TORController) tick() {
 
 	cands := decision.CandidatesFromReports(reports, hwPPS, tc.priorityOf)
 	cands = tc.smoother.Advance(cands, current)
-	d := decision.Decide(decision.Config{
-		Budget:          budget,
-		MinScore:        tc.mgr.Cfg.MinScore,
-		HysteresisRatio: tc.mgr.Cfg.HysteresisRatio,
-		Groups:          tc.mgr.Cfg.Groups,
-	}, cands, current)
+	// N-level placement: the TCAM tier inside DecideTiered is the
+	// unchanged 2-level Decide over the same inputs, so with no SmartNICs
+	// reporting (nicStates nil) this tick is byte-identical to the 2-level
+	// controller. The NIC tier then places the candidates the TCAM did
+	// not take onto each sourcing host's SmartNIC.
+	nicStates, hostOf := tc.nicInputs()
+	td := decision.DecideTiered(decision.TieredConfig{
+		TCAM: decision.Config{
+			Budget:          budget,
+			MinScore:        tc.mgr.Cfg.MinScore,
+			HysteresisRatio: tc.mgr.Cfg.HysteresisRatio,
+			Groups:          tc.mgr.Cfg.Groups,
+		},
+		NICMinScore:        tc.mgr.Cfg.NICMinScore,
+		NICHysteresisRatio: tc.mgr.Cfg.NICHysteresisRatio,
+		NICTenantQuota:     tc.mgr.Cfg.NICTenantQuota,
+	}, cands, current, nicStates, hostOf)
 	// Flap damping on top of score hysteresis: a pattern whose offload
 	// state flipped repeatedly in quick succession is pinned to its
 	// current state until the penalty decays (internal/decision/damper.go).
-	d = tc.damper.Apply(d, current, eng.Now())
+	d := tc.damper.Apply(td.TCAM, current, eng.Now())
 
 	// The decision events carry the score inputs: V1 is the candidate's
 	// score, V2 the TCAM budget the DE worked against.
@@ -526,6 +591,11 @@ func (tc *TORController) tick() {
 		tc.startInstall(p)
 	}
 
+	// The middle tier: runs after beginRemove so a TCAM→NIC demotion is
+	// recognizable (the pattern is in `removing` now), and before the
+	// broadcast so NIC actions ride their own per-server decisions.
+	tc.applyNICTier(td, scores)
+
 	dec := &openflow.OffloadDecision{
 		Interval: uint32(tc.Decisions),
 		Actions:  actions,
@@ -537,9 +607,11 @@ func (tc *TORController) tick() {
 	tc.maybePublish()
 
 	// Anti-entropy: periodically read back the hardware table and
-	// reconcile on reply.
+	// reconcile on reply; the NIC tier reconciles against the cached
+	// report sections on the same cadence.
 	if tc.Decisions%reconcileTicks == 0 {
 		tc.toSwitch.Send(&openflow.TableRequest{})
+		tc.nicReconcile()
 	}
 }
 
@@ -699,6 +771,16 @@ func (tc *TORController) installConfirmed(p rules.Pattern, st *installState) {
 	}
 	// Hardware state acknowledged — now, and only now, redirect placers.
 	tc.announce(openflow.OffloadAction{Pattern: p, Offload: true})
+	// NIC→TCAM promotion completes here: the SmartNIC rule is held until
+	// the TCAM install is barrier-confirmed so the flow graduates without
+	// a software spell in between (and can never blackhole — a NIC miss
+	// after the removal lands on the vswitch, a hit before it reaches the
+	// now-installed TCAM ACL either way).
+	if s, ok := tc.nicDesired[p]; ok {
+		tc.nicRemove(p, s, "nic->tcam", 0)
+		tc.sendNICActions(s, []openflow.OffloadAction{{Pattern: p, Offload: false, Tier: openflow.TierNIC}})
+		tc.nicDamper.ForceState(p, false, tc.mgr.Cluster.Eng.Now())
+	}
 }
 
 // announce queues one action and flushes the batch at the end of the
@@ -1065,7 +1147,15 @@ func (tc *TORController) demoteVM(tenant packet.TenantID, vmIP packet.IP) {
 			aborts = append(aborts, p)
 		}
 	}
-	if len(actions) == 0 && len(aborts) == 0 {
+	// NIC placements touching the VM are pulled back too: the rule lives
+	// on the source host's SmartNIC and would be stranded by the move.
+	var nicPulls []rules.Pattern
+	for p := range tc.nicDesired {
+		if touches(p) {
+			nicPulls = append(nicPulls, p)
+		}
+	}
+	if len(actions) == 0 && len(aborts) == 0 && len(nicPulls) == 0 {
 		return
 	}
 	sort.Slice(actions, func(i, j int) bool {
@@ -1084,6 +1174,13 @@ func (tc *TORController) demoteVM(tenant packet.TenantID, vmIP packet.IP) {
 	for _, p := range aborts {
 		tc.abortInstall(p)
 		tc.damper.ForceState(p, false, now)
+	}
+	sort.Slice(nicPulls, func(i, j int) bool { return nicPulls[i].String() < nicPulls[j].String() })
+	for _, p := range nicPulls {
+		s := tc.nicDesired[p]
+		tc.nicRemove(p, s, "nic->software", 0)
+		tc.sendNICActions(s, []openflow.OffloadAction{{Pattern: p, Offload: false, Tier: openflow.TierNIC}})
+		tc.nicDamper.ForceState(p, false, now)
 	}
 	if len(actions) > 0 {
 		dec := &openflow.OffloadDecision{Actions: actions}

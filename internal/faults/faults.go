@@ -70,6 +70,14 @@ const (
 	// StatsDelay defers each stats report from a measurement engine by
 	// Delay for Duration.
 	StatsDelay
+	// NICReset clears a SmartNIC's entire rule table at At (a firmware
+	// reset); with Period > 0 and Duration > 0 the reset repeats every
+	// Period within the window.
+	NICReset
+	// NICCorrupt silently drops each SmartNIC rule with probability Prob
+	// (default 0.5) at At — partial table corruption the controller must
+	// detect and repair by reasserting desired state.
+	NICCorrupt
 )
 
 func (k Kind) String() string {
@@ -96,6 +104,10 @@ func (k Kind) String() string {
 		return "statsloss"
 	case StatsDelay:
 		return "statsdelay"
+	case NICReset:
+		return "nicreset"
+	case NICCorrupt:
+		return "niccorrupt"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -177,6 +189,16 @@ type StatsTap interface {
 	SetStatsDelay(d time.Duration)
 }
 
+// NICTable is the fault surface of a SmartNIC match-action table
+// (smartnic.NIC implements it): firmware resets lose the whole table,
+// corruption loses a random subset, and installs can be made to fail like
+// any hardware table's.
+type NICTable interface {
+	HardwareTable
+	ResetTable() int
+	CorruptRules(prob float64, rng *rand.Rand) int
+}
+
 // Injector binds fault plans to registered targets on a sim engine.
 type Injector struct {
 	eng  *sim.Engine
@@ -188,6 +210,7 @@ type Injector struct {
 	ctrls    map[string]Controller
 	stormers map[string]Stormer
 	stats    map[string]StatsTap
+	nics     map[string]NICTable
 
 	log []string
 	// Applied counts fault transitions executed.
@@ -207,6 +230,7 @@ func NewInjector(eng *sim.Engine, seed int64) *Injector {
 		ctrls:    make(map[string]Controller),
 		stormers: make(map[string]Stormer),
 		stats:    make(map[string]StatsTap),
+		nics:     make(map[string]NICTable),
 	}
 }
 
@@ -228,6 +252,24 @@ func (in *Injector) RegisterStormer(name string, s Stormer) { in.stormers[name] 
 
 // RegisterStatsTap names a statistics reporting path target.
 func (in *Injector) RegisterStatsTap(name string, s StatsTap) { in.stats[name] = s }
+
+// RegisterNIC names a SmartNIC table target. The NIC is also registered
+// as a hardware table under the same name, so TCAMReject (install-fault)
+// events apply to it too.
+func (in *Injector) RegisterNIC(name string, n NICTable) {
+	in.nics[name] = n
+	in.tables[name] = n
+}
+
+// NICTargets lists registered SmartNIC targets, sorted.
+func (in *Injector) NICTargets() []string {
+	var out []string
+	for n := range in.nics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // ExtraTargets lists the overload-era target categories, sorted: miss-
 // storm sources and stats taps. Kept separate from Targets so existing
@@ -319,6 +361,10 @@ func (in *Injector) validate(ev Event) error {
 	case StatsLoss, StatsDelay:
 		if _, ok := in.stats[ev.Target]; !ok {
 			return fmt.Errorf("unknown stats tap %q", ev.Target)
+		}
+	case NICReset, NICCorrupt:
+		if _, ok := in.nics[ev.Target]; !ok {
+			return fmt.Errorf("unknown nic %q", ev.Target)
 		}
 	default:
 		return fmt.Errorf("unknown kind %d", ev.Kind)
@@ -520,6 +566,29 @@ func (in *Injector) schedule(idx int, ev Event) {
 				in.logf("stats %s delay cleared", ev.Target)
 			})
 		}
+	case NICReset:
+		n := in.nics[ev.Target]
+		fire := func() {
+			lost := n.ResetTable()
+			in.logf("nic %s reset (%d rules lost)", ev.Target, lost)
+		}
+		in.eng.At(ev.At, fire)
+		if ev.Period > 0 && ev.Duration > 0 {
+			for t := ev.At + ev.Period; t < ev.At+ev.Duration; t += ev.Period {
+				in.eng.At(t, fire)
+			}
+		}
+	case NICCorrupt:
+		n := in.nics[ev.Target]
+		prob := ev.Prob
+		if prob == 0 {
+			prob = 0.5
+		}
+		rng := in.rng(idx, ev)
+		in.eng.At(ev.At, func() {
+			lost := n.CorruptRules(prob, rng)
+			in.logf("nic %s corrupted (%d rules lost, p=%.3f)", ev.Target, lost, prob)
+		})
 	}
 }
 
@@ -600,6 +669,10 @@ func parseEvent(clause string) (Event, error) {
 		ev.Kind = StatsLoss
 	case "statsdelay":
 		ev.Kind = StatsDelay
+	case "nicreset":
+		ev.Kind = NICReset
+	case "niccorrupt":
+		ev.Kind = NICCorrupt
 	default:
 		return ev, fmt.Errorf("unknown kind %q", kindStr)
 	}
@@ -679,6 +752,10 @@ type TargetSet struct {
 	Controllers []string
 	Stormers    []string
 	StatsTaps   []string
+	// NICs widens the kind lottery with SmartNIC reset/corruption only
+	// when non-empty, like Stormers and StatsTaps: plans drawn without
+	// NICs stay bit-identical to earlier versions for the same seed.
+	NICs []string
 }
 
 // RandomPlan draws a randomized but deterministic plan from seed: a
@@ -711,10 +788,30 @@ func RandomPlan(seed int64, horizon time.Duration, ts TargetSet) Plan {
 	if len(ts.StatsTaps) > 0 {
 		kinds++
 	}
+	// The NIC slot is always the top lottery index so the existing case
+	// numbering (and thus existing seeded plans) is untouched.
+	nicCase := -1
+	if len(ts.NICs) > 0 {
+		nicCase = kinds
+		kinds++
+	}
 	n := 3 + rng.Intn(4)
 	for i := 0; i < n; i++ {
 		at, dur := window()
-		switch rng.Intn(kinds) {
+		k := rng.Intn(kinds)
+		if k == nicCase {
+			if t, ok := pick(ts.NICs); ok {
+				ev := Event{At: at, Kind: NICReset, Target: t}
+				if rng.Intn(2) == 0 {
+					ev.Kind = NICCorrupt
+					ev.Prob = 0.3 + rng.Float64()*0.6
+					ev.Seed = rng.Int63()
+				}
+				plan.Events = append(plan.Events, ev)
+			}
+			continue
+		}
+		switch k {
 		case 0:
 			if t, ok := pick(ts.Links); ok {
 				plan.Events = append(plan.Events, Event{

@@ -11,6 +11,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/rules"
 	"repro/internal/sim"
+	"repro/internal/smartnic"
 	"repro/internal/vswitch"
 )
 
@@ -30,6 +31,9 @@ type Server struct {
 
 	VSwitch *vswitch.Switch
 	NIC     *nic.NIC
+	// SmartNIC is the optional middle offload tier; nil when the host has
+	// no programmable NIC (the 2-level seed topology).
+	SmartNIC *smartnic.NIC
 
 	VMs map[vswitch.VMKey]*VM
 
@@ -54,6 +58,33 @@ func NewServer(eng *sim.Engine, cm *model.CostModel, cfg model.VSwitchConfig, id
 	}))
 	s.NIC.SetVSwitch(fabric.PortFunc(s.VSwitch.InputFromNIC))
 	return s
+}
+
+// AttachSmartNIC installs a SmartNIC offload tier on the server and wires
+// its admitted-packet hook to the vswitch's offloaded transmit stage.
+func (s *Server) AttachSmartNIC(n *smartnic.NIC) {
+	s.SmartNIC = n
+	if n == nil {
+		return
+	}
+	n.SetForward(func(tenant packet.TenantID, srcIP packet.IP, p *packet.Packet) {
+		s.VSwitch.TransmitOffloaded(vswitch.VMKey{Tenant: tenant, IP: srcIP}, p)
+	})
+}
+
+// egress is the VM's default (non-VF) transmit path: the SmartNIC tier
+// gets first claim on the packet; any miss, deny or pipeline throttle
+// falls back to the vswitch software path, so the NIC tier can shed or
+// lose rules at any instant without blackholing a flow.
+func (s *Server) egress(key vswitch.VMKey, p *packet.Packet) {
+	if s.SmartNIC != nil {
+		p.Tenant = key.Tenant
+		p.Meta.Path = "nic"
+		if s.SmartNIC.TryEgress(p.Key(), p) {
+			return
+		}
+	}
+	s.VSwitch.OutputFromVM(key, p)
 }
 
 // VMConfig describes a guest to create.

@@ -95,7 +95,7 @@ func (vm *VM) Send(dst packet.IP, srcPort, dstPort uint16, size int, opts SendOp
 		case openflow.PathVF:
 			vm.server.NIC.SendFromVF(vm.VLAN, p)
 		default:
-			vm.server.VSwitch.OutputFromVM(vm.Key, p)
+			vm.server.egress(vm.Key, p)
 		}
 		if done != nil {
 			done()
@@ -117,7 +117,7 @@ func (vm *VM) SendPacket(p *packet.Packet, done func()) {
 		case openflow.PathVF:
 			vm.server.NIC.SendFromVF(vm.VLAN, p)
 		default:
-			vm.server.VSwitch.OutputFromVM(vm.Key, p)
+			vm.server.egress(vm.Key, p)
 		}
 		if done != nil {
 			done()

@@ -82,6 +82,43 @@ func TestCacheCountersAddCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestNICCountersAddCoversEveryField extends the conservation law to the
+// SmartNIC tier's counters: Add must double every field, element-wise,
+// so cluster-wide aggregation never silently drops a new cause.
+func TestNICCountersAddCoversEveryField(t *testing.T) {
+	var c NICCounters
+	_, n := fillStruct(t, reflect.ValueOf(&c).Elem())
+	if n == 0 {
+		t.Fatal("NICCounters has no uint64 fields?")
+	}
+	sum := c.Add(c)
+	cv, sv := reflect.ValueOf(c), reflect.ValueOf(sum)
+	for i := 0; i < cv.NumField(); i++ {
+		if sv.Field(i).Uint() != 2*cv.Field(i).Uint() {
+			t.Errorf("NICCounters.Add mangles field %s: %d -> %d",
+				cv.Type().Field(i).Name, cv.Field(i).Uint(), sv.Field(i).Uint())
+		}
+	}
+}
+
+// TestNICCountersHitRateUsesHitsMissesThrottled pins the NIC hit-rate
+// denominator: every lookup outcome (hit, miss, throttle) counts as an
+// attempt, so the rate reflects how much traffic the tier actually
+// carried.
+func TestNICCountersHitRateUsesHitsMissesThrottled(t *testing.T) {
+	c := NICCounters{Hits: 3, Misses: 1}
+	if got := c.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate() = %v, want 0.75", got)
+	}
+	c.Throttled = 4
+	if got := c.HitRate(); got != 0.375 {
+		t.Fatalf("HitRate() with throttling = %v, want 0.375", got)
+	}
+	if got := (NICCounters{}).HitRate(); got != 0 {
+		t.Fatalf("idle HitRate() = %v, want 0", got)
+	}
+}
+
 // TestCacheCountersHitRateUsesHitsAndMisses pins HitRate's inputs so a
 // refactor renaming the traffic counters cannot silently change its
 // meaning.

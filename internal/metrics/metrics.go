@@ -220,6 +220,55 @@ func (c CacheCounters) String() string {
 		c.Hits, c.Misses, c.Installs, c.Evictions, c.Invalidations)
 }
 
+// NICCounters is the observability surface of a per-host SmartNIC offload
+// tier: egress lookups served in hardware, lookups that fell through to
+// the software vswitch path, installs/removes of match-action rules, and
+// packets bounced back to software by the tenant-fair pipeline admission.
+// A throttled or missed packet is never a drop — it falls back to the
+// vswitch slow path — so these counters do not feed the drop conservation
+// equation. Counters only ever increase.
+type NICCounters struct {
+	// Hits counts egress packets forwarded by a NIC table rule; Misses
+	// counts egress lookups that found no rule and fell back to software.
+	Hits, Misses uint64
+	// Throttled counts packets whose flow matched a rule but exceeded the
+	// tenant's fair share of NIC pipeline capacity in the current window;
+	// these also fall back to the software path.
+	Throttled uint64
+	// Installs and Removes count rule table churn.
+	Installs, Removes uint64
+	// Rejects counts refused installs (table full, tenant quota, or an
+	// injected install fault).
+	Rejects uint64
+}
+
+// HitRate returns Hits/(Hits+Misses+Throttled), or 0 when idle.
+func (n NICCounters) HitRate() float64 {
+	total := n.Hits + n.Misses + n.Throttled
+	if total == 0 {
+		return 0
+	}
+	return float64(n.Hits) / float64(total)
+}
+
+// Add returns the element-wise sum.
+func (n NICCounters) Add(o NICCounters) NICCounters {
+	return NICCounters{
+		Hits:      n.Hits + o.Hits,
+		Misses:    n.Misses + o.Misses,
+		Throttled: n.Throttled + o.Throttled,
+		Installs:  n.Installs + o.Installs,
+		Removes:   n.Removes + o.Removes,
+		Rejects:   n.Rejects + o.Rejects,
+	}
+}
+
+// String renders the counters for logs and experiment tables.
+func (n NICCounters) String() string {
+	return fmt.Sprintf("hits=%d misses=%d throttled=%d installs=%d removes=%d rejects=%d",
+		n.Hits, n.Misses, n.Throttled, n.Installs, n.Removes, n.Rejects)
+}
+
 // Gbps converts a byte count over an interval to gigabits per second.
 func Gbps(bytes uint64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

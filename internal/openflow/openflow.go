@@ -298,6 +298,13 @@ type DemandReport struct {
 	Interval uint32 // control interval sequence number
 	Entries  []DemandEntry
 	Splits   []RateSplit
+	// NICFree is the host SmartNIC's free rule-table capacity (0 when the
+	// host has no SmartNIC); NICPatterns lists the rules currently in its
+	// table, so the TOR DE can reconcile desired against reported NIC
+	// state without a second barrier machine. Both ride on the first
+	// chunk only (like Splits) and are absent from legacy bodies.
+	NICFree     uint32
+	NICPatterns []rules.Pattern
 }
 
 // Type implements Message.
@@ -317,6 +324,11 @@ func (m *DemandReport) marshalBody(b *buffer) {
 		b.u32(e.ActiveEpochs)
 	}
 	marshalSplits(b, m.Splits)
+	b.u32(m.NICFree)
+	b.u32(uint32(len(m.NICPatterns)))
+	for _, p := range m.NICPatterns {
+		marshalPattern(b, p)
+	}
 }
 
 func (m *DemandReport) unmarshalBody(r *reader) error {
@@ -343,6 +355,21 @@ func (m *DemandReport) unmarshalBody(r *reader) error {
 	m.Splits, err = unmarshalSplits(r)
 	if err != nil {
 		return err
+	}
+	if r.remaining() == 0 {
+		return r.err // legacy body without the NIC section
+	}
+	m.NICFree = r.u32()
+	np := r.u32()
+	// Each NIC pattern is 20 bytes on the wire.
+	if uint64(np)*20 > uint64(r.remaining()) {
+		return fmt.Errorf("openflow: demand report claims %d nic patterns beyond body", np)
+	}
+	if np > 0 {
+		m.NICPatterns = make([]rules.Pattern, np)
+		for i := range m.NICPatterns {
+			m.NICPatterns[i] = unmarshalPattern(r)
+		}
 	}
 	return r.err
 }
@@ -380,12 +407,24 @@ func unmarshalSplits(r *reader) ([]RateSplit, error) {
 	return out, nil
 }
 
+// Offload action tiers. The tier rides in the high bits of the action's
+// flag byte, so a zero tier keeps pre-SmartNIC wire semantics.
+const (
+	// TierTCAM targets the ToR TCAM express lane (the legacy default).
+	TierTCAM uint8 = 0
+	// TierNIC targets the sending host's SmartNIC table.
+	TierNIC uint8 = 1
+)
+
 // OffloadAction is one element of an offload decision.
 type OffloadAction struct {
 	Pattern rules.Pattern
-	// Offload directs the flow to hardware when true, back to software
+	// Offload directs the flow into the tier when true, back out of it
 	// when false (a demotion).
 	Offload bool
+	// Tier selects the hardware tier the action concerns (TierTCAM or
+	// TierNIC). Packed into the same wire flag byte as Offload.
+	Tier uint8
 }
 
 // RateSplit is the FPS outcome for one VM interface pair (§4.3.2): the
@@ -427,11 +466,11 @@ func (m *OffloadDecision) marshalBody(b *buffer) {
 	b.u32(uint32(len(m.Actions)))
 	for _, a := range m.Actions {
 		marshalPattern(b, a.Pattern)
+		flags := a.Tier << 1
 		if a.Offload {
-			b.u8(1)
-		} else {
-			b.u8(0)
+			flags |= 1
 		}
+		b.u8(flags)
 	}
 	b.u32(uint32(len(m.HWRates)))
 	for _, s := range m.HWRates {
@@ -462,7 +501,9 @@ func (m *OffloadDecision) unmarshalBody(r *reader) error {
 	}
 	for i := range m.Actions {
 		m.Actions[i].Pattern = unmarshalPattern(r)
-		m.Actions[i].Offload = r.u8() == 1
+		flags := r.u8()
+		m.Actions[i].Offload = flags&1 != 0
+		m.Actions[i].Tier = flags >> 1
 	}
 	ns := r.u32()
 	if uint64(ns)*25 > uint64(r.remaining()) {
@@ -819,6 +860,8 @@ func ChunkDemandReport(rep DemandReport) []DemandReport {
 		chunk := DemandReport{ServerID: rep.ServerID, Interval: rep.Interval, Entries: rep.Entries[start:end]}
 		if start == 0 {
 			chunk.Splits = rep.Splits
+			chunk.NICFree = rep.NICFree
+			chunk.NICPatterns = rep.NICPatterns
 		}
 		out = append(out, chunk)
 	}

@@ -1,0 +1,130 @@
+package smartnic
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// admitState is the NIC's tenant-fair pipeline admission. It mirrors the
+// vswitch overload governor's lazy sliding window (no permanent tickers —
+// the sim engine's Run drains the event queue, so time-keeping must be
+// pulled by the datapath, not pushed by timers): per-tenant offered load
+// is counted per window, and when a window's total offered load exceeded
+// the pipeline's packet budget, the next window admits each tenant up to
+// a max-min fair (water-filled) share of that budget. Under-capacity
+// windows impose no throttling at all, so admission is free until the
+// pipeline is actually contended.
+type admitState struct {
+	pps      float64
+	window   time.Duration
+	quantum  float64
+	headroom float64
+
+	idx      int64
+	offered  map[packet.TenantID]float64
+	admitted map[packet.TenantID]float64
+	// allowance is nil while unthrottled; otherwise the per-tenant packet
+	// budget for the current window.
+	allowance map[packet.TenantID]float64
+}
+
+func newAdmitState(cfg Config) admitState {
+	return admitState{
+		pps:      cfg.PipelinePPS,
+		window:   cfg.Window,
+		quantum:  cfg.AdmitQuantum,
+		headroom: cfg.Headroom,
+		offered:  make(map[packet.TenantID]float64),
+		admitted: make(map[packet.TenantID]float64),
+	}
+}
+
+// admit charges one offered packet to the tenant and reports whether the
+// pipeline accepts it this window.
+func (a *admitState) admit(now time.Duration, t packet.TenantID) bool {
+	if a.pps <= 0 {
+		return true
+	}
+	idx := int64(now / a.window)
+	if idx != a.idx {
+		a.rotate(idx)
+	}
+	a.offered[t]++
+	if a.allowance == nil {
+		return true
+	}
+	limit, ok := a.allowance[t]
+	if !ok {
+		// Tenant absent from the measured window: grant the quantum so a
+		// newly active tenant is never starved outright.
+		limit = a.quantum
+	}
+	if a.admitted[t] >= limit {
+		return false
+	}
+	a.admitted[t]++
+	return true
+}
+
+// rotate closes the previous window and computes the new one's allowances
+// from its offered counts.
+func (a *admitState) rotate(idx int64) {
+	var prev map[packet.TenantID]float64
+	if idx == a.idx+1 {
+		prev = a.offered
+	}
+	a.idx = idx
+	a.offered = make(map[packet.TenantID]float64)
+	a.admitted = make(map[packet.TenantID]float64)
+	a.allowance = nil
+
+	budget := a.pps * a.window.Seconds()
+	var total float64
+	for _, d := range prev {
+		total += d
+	}
+	if total <= budget {
+		return
+	}
+	shares := waterfill(prev, budget)
+	for t, s := range shares {
+		s *= a.headroom
+		if s < a.quantum {
+			s = a.quantum
+		}
+		shares[t] = s
+	}
+	a.allowance = shares
+}
+
+// waterfill computes the max-min fair allocation of budget across the
+// demands: tenants are satisfied in ascending demand order, each taking
+// min(demand, equal share of what remains). Deterministic: ties break on
+// tenant ID.
+func waterfill(demand map[packet.TenantID]float64, budget float64) map[packet.TenantID]float64 {
+	ids := make([]packet.TenantID, 0, len(demand))
+	for t := range demand {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := demand[ids[i]], demand[ids[j]]
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	out := make(map[packet.TenantID]float64, len(ids))
+	remaining := budget
+	for i, t := range ids {
+		share := remaining / float64(len(ids)-i)
+		alloc := demand[t]
+		if alloc > share {
+			alloc = share
+		}
+		out[t] = alloc
+		remaining -= alloc
+	}
+	return out
+}

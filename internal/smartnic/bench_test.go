@@ -1,0 +1,87 @@
+package smartnic
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// benchNIC builds a NIC with `entries` installed egress-aggregate rules and
+// returns matching flow keys. Admission and jitter are disabled so the
+// benchmark isolates the match-action lookup + forward scheduling cost.
+func benchNIC(b *testing.B, entries int) (*sim.Engine, *NIC, []packet.FlowKey) {
+	b.Helper()
+	eng := sim.NewEngine(1)
+	n := New(eng, Config{
+		Capacity:      entries,
+		LookupLatency: 2 * time.Microsecond,
+		JitterMean:    0, // deterministic latency: no rng draw per packet
+		PipelinePPS:   0, // admission off: pure lookup path
+	})
+	n.SetForward(func(packet.TenantID, packet.IP, *packet.Packet) {})
+	keys := make([]packet.FlowKey, entries)
+	for i := range keys {
+		ip := fmt.Sprintf("10.3.%d.%d", i/250, 10+i%250)
+		keys[i] = flowKey(packet.TenantID(1+i%8), ip, "10.3.200.1", uint16(40000+i), 9000)
+		if err := n.Install(rules.AggregatePattern(keys[i].EgressAggregate()), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, n, keys
+}
+
+// BenchmarkNICLookupHit is the SmartNIC fast path: tuple-space lookup,
+// per-flow stats, and forward scheduling on a hit. The engine queue is
+// drained periodically so scheduled forwards don't accumulate; the drain
+// is part of the per-packet datapath cost.
+func BenchmarkNICLookupHit(b *testing.B) {
+	eng, n, keys := benchNIC(b, 64)
+	p := testPacket(keys[0], 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !n.TryEgress(keys[i%len(keys)], p) {
+			b.Fatal("unexpected miss")
+		}
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+	b.StopTimer()
+	eng.Run()
+}
+
+// BenchmarkNICLookupMiss is the fallback probe every software-tier packet
+// pays when a SmartNIC is attached: a failed tuple-space lookup.
+func BenchmarkNICLookupMiss(b *testing.B) {
+	_, n, _ := benchNIC(b, 64)
+	miss := flowKey(9, "10.9.0.1", "10.9.0.2", 40000, 9000)
+	p := testPacket(miss, 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n.TryEgress(miss, p) {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+// BenchmarkNICInstallRemove is the control-plane table update cycle the
+// placement ladder exercises on every promote/demote.
+func BenchmarkNICInstallRemove(b *testing.B) {
+	eng := sim.NewEngine(1)
+	n := New(eng, Config{Capacity: 64})
+	pat := egressPat(3, "10.3.0.1", 40000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Install(pat, 0); err != nil {
+			b.Fatal(err)
+		}
+		n.Remove(pat)
+	}
+}

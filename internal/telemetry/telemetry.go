@@ -104,6 +104,24 @@ const (
 	// fast-retransmit/timeout/ack, V1 = sequence number). These re-express
 	// Fig. 12's packet-level migration trace as flight-recorder events.
 	KindTCP
+	// KindNICInstall: a SmartNIC accepted a rule into its match-action
+	// table (V1 = occupancy after insert).
+	KindNICInstall
+	// KindNICRemove: a rule was removed from a SmartNIC table
+	// (V1 = occupancy after remove).
+	KindNICRemove
+	// KindNICHit: sampled SmartNIC egress fast-path hit (every Nth; V1 = N).
+	KindNICHit
+	// KindNICReject: a SmartNIC refused a rule install
+	// (Cause = full/quota/fault).
+	KindNICReject
+	// KindNICReset: a NIC fault cleared table state
+	// (Cause = reset/corrupt, V1 = rules lost).
+	KindNICReset
+	// KindPlacementChange: the tiered placement engine moved a pattern
+	// between tiers (Cause = "<from>-><to>", V1 = score, V2 = target
+	// server for NIC placements).
+	KindPlacementChange
 
 	numKinds
 )
@@ -135,6 +153,12 @@ var kindNames = [numKinds]string{
 	KindCrash:           "crash",
 	KindRestart:         "restart",
 	KindTCP:             "tcp",
+	KindNICInstall:      "nic-install",
+	KindNICRemove:       "nic-remove",
+	KindNICHit:          "nic-hit",
+	KindNICReject:       "nic-reject",
+	KindNICReset:        "nic-reset",
+	KindPlacementChange: "placement-change",
 }
 
 // String returns the stable wire name of the kind (used in exports and

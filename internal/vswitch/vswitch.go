@@ -574,6 +574,42 @@ func (s *Switch) transmit(src *vport, k packet.FlowKey, p *packet.Packet) {
 	s.uplink.Input(p)
 }
 
+// TransmitOffloaded carries a packet the host's SmartNIC already
+// classified and forwarded in hardware: classification, the slow path and
+// the htb qdisc's CPU cost are all bypassed, but the VIF's token-bucket
+// rate limit still applies (the NIC enforces the same tenant shaping the
+// software path does), and the packet is metered and counted exactly like
+// a software transmit before the normal encap/wire stage.
+func (s *Switch) TransmitOffloaded(key VMKey, p *packet.Packet) {
+	vp, ok := s.vports[key]
+	if !ok {
+		s.unrouted++
+		return
+	}
+	p.Tenant = key.Tenant
+	k := p.Key()
+	bucket := vp.egress
+	if s.cfg.RateLimitBps > 0 && bucket == nil {
+		vp.egress = makeBucket(nil, s.eng.Now(), s.cfg.RateLimitBps)
+		bucket = vp.egress
+	}
+	if bucket == nil {
+		vp.egressMeter.Record(p.WireLen())
+		s.transmit(vp, k, p)
+		return
+	}
+	delay, ok := bucket.ReserveLimit(s.eng.Now(), p.WireLen(), maxShapeDelay)
+	if !ok {
+		s.drops.Shape++
+		if s.rec != nil {
+			s.rec.Drop(p.Tenant, k, "shape")
+		}
+		return
+	}
+	vp.egressMeter.Record(p.WireLen())
+	s.eng.After(delay, func() { s.transmit(vp, k, p) })
+}
+
 func (s *Switch) deliverLocal(dst *vport, p *packet.Packet) {
 	dst.ingressMeter.Record(p.WireLen())
 	dst.deliver.Input(p)

@@ -11,6 +11,8 @@
 #   internal/vswitch  megaflow cache vs slow-path upcall
 #   internal/packet   pooled AppendMarshal vs allocate-per-packet
 #   internal/tunnel   pooled encap vs seed-style encap
+#   internal/smartnic SmartNIC match-action lookup (hit/miss/update)
+#   internal/decision 2-level Decide vs N-level DecideTiered
 #
 # BENCH_BASELINE.txt is the raw `go test -bench` text (benchstat input);
 # BENCH_BASELINE.json is the stable machine-readable form produced by
@@ -20,7 +22,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PKGS="./internal/rules ./internal/vswitch ./internal/packet ./internal/tunnel"
+PKGS="./internal/rules ./internal/vswitch ./internal/packet ./internal/tunnel ./internal/smartnic ./internal/decision"
 COUNT="${BENCH_COUNT:-1}"
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT

@@ -9,6 +9,8 @@
 #   results/microbench.txt        Figures 3, 4(a), 4(b), 5
 #   results/evalbench.txt         Tables 1-4 + controller cost
 #   results/migrate-trace.txt     Figure 12 gnuplot series + summary
+#   results/tiered-ladder.txt     three-tier placement ladder (software ->
+#                                 SmartNIC -> TCAM graduation/demotion)
 #   results/fig12-trace.json      Figure 12 flight-recorder trace (Perfetto)
 #   results/fastrak-trace.json    fastrak-sim -migrate run trace (Perfetto)
 #   results/fastrak-metrics.prom  same run, Prometheus text exposition
@@ -32,6 +34,9 @@ go run ./cmd/evalbench >results/evalbench.txt
 echo "== migrate-trace (Figure 12 + flight recorder)"
 go run ./cmd/migrate-trace -trace-out results/fig12-trace.json \
 	>results/migrate-trace.txt
+
+echo "== tiered placement ladder (SmartNIC tier)"
+go run ./cmd/fastrak-sim -tiered -seed 5 -duration 8s >results/tiered-ladder.txt
 
 echo "== fastrak-sim traced migration scenario"
 go run ./cmd/fastrak-sim -trace -migrate \
