@@ -70,6 +70,9 @@ func main() {
 	smartnic := flag.Int("smartnic", 0, "per-server SmartNIC rule-table capacity; >0 enables the NIC offload tier between the vswitch and the TCAM")
 	overload := flag.Bool("overload", false, "run the canned slow-path overload scenario instead of the rack workload")
 	tiered := flag.Bool("tiered", false, "run the canned three-tier placement-ladder scenario (experiments.RunTiered) instead of the rack workload")
+	failover := flag.Bool("failover", false, "run the canned control-plane failover scenario (experiments.RunFailover): hot-standby TOR controllers under partitions, crashes and pauses")
+	replicas := flag.Int("replicas", 0, "TOR controller replicas per rack (>1 enables hot-standby HA with leader election and epoch fencing)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "hardware rule lease TTL (>0 enables lease-based fail-safe expiry back to the software path)")
 	trace := flag.Bool("trace", false, "enable the flight recorder and metric sampler")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file (implies -trace; default results/fastrak-trace.json when -trace is set)")
 	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file (implies -trace)")
@@ -115,13 +118,17 @@ func main() {
 		runTiered(*seed, *duration)
 		return
 	}
+	if *failover {
+		runFailover(*seed, *faultSeed, *duration)
+		return
+	}
 
 	opts := fastrak.Options{
 		Servers:          *servers,
 		TCAMCapacity:     *tcam,
 		Seed:             *seed,
 		SmartNICCapacity: *smartnic,
-		Controller:       fastrak.ControllerOptions{Epoch: *epoch},
+		Controller:       fastrak.ControllerOptions{Epoch: *epoch, Replicas: *replicas, LeaseTTL: *leaseTTL},
 	}
 	if *racks > 1 {
 		opts.Racks = *racks
@@ -166,7 +173,9 @@ func main() {
 			links, channels, tables, controllers := inj.Targets()
 			plan = faults.RandomPlan(*faultSeed, *duration*3/4, faults.TargetSet{
 				Links: links, Channels: channels, Tables: tables, Controllers: controllers,
-				NICs: inj.NICTargets(),
+				NICs:       inj.NICTargets(),
+				Partitions: inj.PartitionTargets(),
+				Pausables:  inj.PausableTargets(),
 			})
 		} else {
 			plan, err = faults.ParsePlan(*faultSpec)
@@ -399,4 +408,39 @@ func runTiered(seed int64, duration time.Duration) {
 		res.Sent, res.Delivered, res.LinkQueueDrops, res.ShapeDrops, res.RateDrops,
 		res.BlackholeDrops, res.Unaccounted)
 	fmt.Printf("ladder demonstrated: %v\n", res.Passed())
+}
+
+// runFailover drives the canned control-plane HA scenario — hot-standby
+// TOR controllers walked through partitions, crashes and pauses — and
+// prints the leadership, fencing, lease and reconvergence figures.
+func runFailover(seed, faultSeed int64, duration time.Duration) {
+	res, err := experiments.RunFailover(experiments.FailoverConfig{
+		Seed: seed, FaultSeed: faultSeed, Horizon: duration,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastrak-sim: failover scenario: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("fault log:")
+	for _, line := range res.FaultLog {
+		fmt.Println("  ", line)
+	}
+	fmt.Printf("\nleadership: %d elections, %d step-downs; final leader replica %d (term %d), %d acting at the end\n",
+		res.Elections, res.StepDowns, res.LeaderReplica, res.FinalTerm, res.Leaders)
+	fmt.Printf("fencing: %d stale-term installs rejected by switches, %d stale-term errors returned to deposed leaders, %d stale syncs dropped by locals; term conflicts: %d\n",
+		res.FencedInstalls, res.FencedOut, res.FencedSyncs, res.TermConflicts)
+	fmt.Printf("leases: %d refreshes, %d TCAM expiries, %d placer expiries, %d degraded demotes; every hardware rule leased at the end: %v\n",
+		res.LeaseRefreshes, res.TCAMLeaseExpiries, res.PlacerExpiries, res.DegradedDemotes, res.LeaseConserved)
+	fmt.Printf("recovery: %d crashes, %d pauses survived\n", res.Crashes, res.Pauses)
+	fmt.Printf("reconvergence: hardware matches desired: %v; matches never-faulted twin: %v\n",
+		res.HardwareMatchesDesired, res.MatchesBaseline)
+	fmt.Printf("rate cap: peak %.2f Mbps against a %.2f Mbps cap, %d violations\n",
+		res.PeakCappedBps/1e6, res.CapLimitBps/1e6, res.CapViolations)
+	fmt.Printf("conservation: sent=%d delivered=%d queue=%d down=%d loss=%d shape=%d upcall=%d clamp=%d rate=%d blackholed=%d unaccounted=%d\n",
+		res.Sent, res.Delivered, res.LinkQueueDrops, res.LinkDownDrops, res.LinkLossDrops,
+		res.ShapeDrops, res.UpcallQueueDrops, res.ClampDrops, res.RateDrops,
+		res.BlackholeDrops, res.Unaccounted)
+	ok := res.Leaders == 1 && res.TermConflicts == 0 && res.BlackholeDrops == 0 &&
+		res.HardwareMatchesDesired && res.MatchesBaseline && res.LeaseConserved
+	fmt.Printf("failover invariants held: %v\n", ok)
 }

@@ -87,6 +87,16 @@ type ControllerOptions struct {
 	// NICTenantQuota caps SmartNIC rules per tenant per host (0 = the
 	// device default quota).
 	NICTenantQuota int
+	// Replicas runs that many hot-standby TOR controller instances per
+	// rack (≤1 keeps the single-controller legacy mode). Exactly one
+	// replica — the lowest-numbered live one — acts per elected term;
+	// its FlowMods carry the term and stale-term messages are fenced.
+	Replicas int
+	// LeaseTTL enables lease-based fail-safe rules when > 0: hardware
+	// placements expire back to the software path unless refreshed by a
+	// live leader, so an orphaned express lane degrades instead of
+	// blackholing.
+	LeaseTTL time.Duration
 }
 
 // Deployment is an emulated multi-tenant rack under FasTrak management.
@@ -239,6 +249,8 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	if co.PriorityOf != nil {
 		cfg.PriorityOf = func(t packet.TenantID) float64 { return co.PriorityOf(uint32(t)) }
 	}
+	cfg.HA.Replicas = co.Replicas
+	cfg.HA.LeaseTTL = co.LeaseTTL
 	mgr := core.Attach(c, cfg)
 	return &Deployment{Cluster: c, Manager: mgr, vms: make(map[string]*host.VM)}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/openflow"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/tor"
 )
 
@@ -17,11 +18,62 @@ import (
 // the controller only learns the outcome through barrier confirmations
 // and table read-back, exactly the failure surface internal/faults
 // injects.
+//
+// With controller replication the agent is shared by the whole replica
+// group and is where epoch fencing lives: it remembers the newest
+// leadership term it has witnessed and rejects rule operations from older
+// terms with ErrCodeStaleTerm, so a deposed leader — however convinced it
+// still owns the rack — cannot mutate hardware.
 type switchAgent struct {
 	tor *tor.TOR
+
+	// highestTerm is the newest leadership term witnessed; term 0 is the
+	// HA-disabled legacy protocol and is never fenced.
+	highestTerm uint32
+	// actedInTerm records which replica issued FlowMods under each term.
+	// Terms are partitioned across replicas ((term-1) mod N == replica
+	// id), so a second origin inside one term means the fencing invariant
+	// broke; TermConflicts counts such cases and must stay zero.
+	actedInTerm map[uint32]uint32
+	// FencedInstalls counts stale-term messages rejected.
+	FencedInstalls uint64
+	// TermConflicts counts terms in which two distinct origins acted.
+	TermConflicts uint64
+
+	// rec is the flight-recorder scope; nil when telemetry is disabled
+	// (and in legacy deployments, which never fence).
+	rec *telemetry.Scoped
 }
 
-func newSwitchAgent(t *tor.TOR) *switchAgent { return &switchAgent{tor: t} }
+func newSwitchAgent(t *tor.TOR) *switchAgent {
+	return &switchAgent{tor: t, actedInTerm: make(map[uint32]uint32)}
+}
+
+// admitTerm applies epoch fencing to one controller message. acts marks
+// messages that mutate hardware (FlowMods): those additionally record the
+// term→origin binding for the split-brain invariant.
+func (a *switchAgent) admitTerm(term, origin uint32, acts bool, cause string, reply openflow.ReplyFunc, xid uint32) bool {
+	if term < a.highestTerm {
+		a.FencedInstalls++
+		if a.rec != nil {
+			a.rec.Record(telemetry.Event{Kind: telemetry.KindFenceReject, Cause: cause,
+				V1: float64(term), V2: float64(a.highestTerm)})
+		}
+		reply(&openflow.ErrorMsg{Code: openflow.ErrCodeStaleTerm}, xid)
+		return false
+	}
+	if term > a.highestTerm {
+		a.highestTerm = term
+	}
+	if acts && term > 0 {
+		if prev, ok := a.actedInTerm[term]; !ok {
+			a.actedInTerm[term] = origin
+		} else if prev != origin {
+			a.TermConflicts++
+		}
+	}
+	return true
+}
 
 // HandleMessage implements openflow.Handler.
 //
@@ -34,6 +86,9 @@ func newSwitchAgent(t *tor.TOR) *switchAgent { return &switchAgent{tor: t} }
 func (a *switchAgent) HandleMessage(msg openflow.Message, xid uint32, reply openflow.ReplyFunc) {
 	switch m := msg.(type) {
 	case *openflow.FlowMod:
+		if !a.admitTerm(m.Term, m.Origin, true, "flowmod", reply, xid) {
+			return
+		}
 		switch m.Command {
 		case openflow.FlowAdd:
 			if err := a.upsert(m); err != nil {
@@ -49,6 +104,14 @@ func (a *switchAgent) HandleMessage(msg openflow.Message, xid uint32, reply open
 	case *openflow.BarrierRequest:
 		reply(&openflow.BarrierReply{}, xid)
 	case *openflow.TableRequest:
+		if !a.admitTerm(m.Term, m.Origin, false, "table-request", reply, xid) {
+			return
+		}
+		// A table read from the live leader doubles as a liveness proof
+		// for every installed rule: refresh all leases, so TCAM entries
+		// expire only when the leader (or the path to it) is truly gone,
+		// not when an individual refresh FlowAdd was lost.
+		a.tor.RefreshAllLeases()
 		reply(a.tableReply(), xid)
 	case openflow.EchoRequest:
 		reply(openflow.EchoReply{}, xid)
@@ -62,6 +125,9 @@ func (a *switchAgent) upsert(m *openflow.FlowMod) error {
 	prio, queue := int(m.Priority), int(m.Cookie)
 	for _, ri := range a.tor.Rules() {
 		if ri.Pattern == m.Pattern && ri.Priority == prio && ri.Queue == queue {
+			// An idempotent re-assert is exactly what a lease refresh
+			// looks like: extend the entry's lease without churning it.
+			a.tor.RefreshLease(m.Pattern)
 			return nil
 		}
 	}

@@ -89,6 +89,42 @@ type Config struct {
 	// Smoother configures staleness-aware smoothing of offload
 	// candidates across control intervals (zero value = defaults).
 	Smoother decision.SmootherConfig
+
+	// HA configures control-plane high availability: hot-standby TOR
+	// controller replicas with epoch-fenced leader election, and lease-
+	// based fail-safe expiry of hardware placements. The zero value (one
+	// replica, no leases) reproduces the original single-controller
+	// manager byte for byte.
+	HA HAConfig
+}
+
+// HAConfig parameterizes the control-plane high-availability machinery.
+type HAConfig struct {
+	// Replicas is the number of TOR controller instances per rack (≤1
+	// means a single instance with no election machinery). Replica 0
+	// bootstraps as leader; on its failure the lowest-id alive replica
+	// takes over. Leadership terms are partitioned across replicas —
+	// replica i only claims terms with (term-1) mod Replicas == i — so
+	// two replicas can never lead under the same term; the switch agent
+	// fences stale terms, making election purely a liveness concern.
+	Replicas int
+	// LeaseTTL enables lease-based fail-safe rules when > 0: every TCAM
+	// and SmartNIC placement expires back to the software path unless the
+	// leader's reconcile traffic refreshes it, and flow placers stop
+	// steering into the express lane after LeaseTTL/2 without leader
+	// contact — strictly before the hardware rules expire, so an orphaned
+	// lane degrades to software instead of blackholing. Must exceed two
+	// reconcile periods (8 control intervals) so a healthy leader always
+	// refreshes in time.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the leader heartbeat period (default: half a
+	// control interval).
+	HeartbeatEvery time.Duration
+	// ElectionTimeout is the base silence before a standby claims
+	// leadership (default: two control intervals). Each replica adds a
+	// stagger of replicaID × HeartbeatEvery so the lowest-id alive
+	// replica claims first.
+	ElectionTimeout time.Duration
 }
 
 // DefaultConfig returns the prototype's settings (§5.2) with a fast
@@ -111,11 +147,18 @@ type Manager struct {
 	Cluster *cluster.Cluster
 	Cfg     Config
 
-	// TORCtl is rack 0's controller (the only one on single-rack
-	// clusters); TORCtls lists every rack's.
-	TORCtl  *TORController
-	TORCtls []*TORController
-	Locals  []*LocalController
+	// TORCtl is rack 0's primary controller (the only one on single-rack
+	// clusters); TORCtls lists every rack's primary (replica 0), and
+	// RackCtls every rack's full replica group — with HA disabled each
+	// group has exactly one member and RackCtls[r][0] == TORCtls[r].
+	TORCtl   *TORController
+	TORCtls  []*TORController
+	RackCtls [][]*TORController
+	Locals   []*LocalController
+
+	// agents holds each rack's switch agent (shared by the rack's replica
+	// group — fencing lives switch-side, not per-connection).
+	agents []*switchAgent
 
 	// limits registers tenant-purchased aggregate rates per VM.
 	limits map[vswitch.VMKey]aggregateLimit
@@ -155,52 +198,174 @@ func Attach(c *cluster.Cluster, cfg Config) *Manager {
 	if cfg.NICHysteresisRatio < 1 {
 		cfg.NICHysteresisRatio = cfg.HysteresisRatio
 	}
+	if cfg.HA.Replicas < 1 {
+		cfg.HA.Replicas = 1
+	}
 	m := &Manager{
 		Cluster: c,
 		Cfg:     cfg,
 		limits:  make(map[vswitch.VMKey]aggregateLimit),
 	}
+	haOn := cfg.HA.Replicas > 1 || cfg.HA.LeaseTTL > 0
 	for _, t := range c.TORs {
-		tc := newTORController(m, t)
-		// Control connection TOR controller ↔ the switch's management
-		// agent: rule installs round-trip real wire encoding and are
-		// only trusted once barrier-confirmed.
-		tc.toSwitch, tc.fromSwitch = openflow.Pair(c.Eng, cfg.ControlDelay, tc, newSwitchAgent(t))
-		m.TORCtls = append(m.TORCtls, tc)
+		if cfg.HA.LeaseTTL > 0 {
+			t.SetLeaseTTL(cfg.HA.LeaseTTL)
+		}
+		// One switch agent per rack, shared by the whole replica group:
+		// epoch fencing is a property of the switch, not of any one
+		// control connection.
+		agent := newSwitchAgent(t)
+		var rack []*TORController
+		for i := 0; i < cfg.HA.Replicas; i++ {
+			tc := newTORController(m, t)
+			tc.replicaID = i
+			if haOn {
+				// Replica 0 bootstraps as leader of term 1 (its residue
+				// class); standbys start as its followers.
+				tc.term = 1
+			}
+			tc.isLeader = i == 0
+			tc.agent = agent
+			// Control connection TOR controller ↔ the switch's management
+			// agent: rule installs round-trip real wire encoding and are
+			// only trusted once barrier-confirmed.
+			tc.toSwitch, tc.fromSwitch = openflow.Pair(c.Eng, cfg.ControlDelay, tc, agent)
+			rack = append(rack, tc)
+		}
+		// Pairwise election channels between replicas (heartbeats and
+		// term gossip) — independently faultable, so a severed pair can
+		// manufacture the dueling-leaders case fencing exists for.
+		for i := 0; i < len(rack); i++ {
+			for j := i + 1; j < len(rack); j++ {
+				toJ, toI := openflow.Pair(c.Eng, cfg.ControlDelay, rack[i], rack[j])
+				rack[i].toPeers[j] = toJ
+				rack[j].toPeers[i] = toI
+			}
+		}
+		m.RackCtls = append(m.RackCtls, rack)
+		m.TORCtls = append(m.TORCtls, rack[0])
+		m.agents = append(m.agents, agent)
 	}
 	m.TORCtl = m.TORCtls[0]
 	for idx, srv := range c.Servers {
 		lc := newLocalController(m, srv)
+		lc.rack = c.RackOf(idx)
 		m.Locals = append(m.Locals, lc)
-		// Bidirectional control channel local ↔ the rack's TOR
-		// controller.
-		tc := m.TORCtls[c.RackOf(idx)]
-		toTOR, toLocal := openflow.Pair(c.Eng, cfg.ControlDelay, lc, tc)
-		lc.toTOR = toTOR
-		lc.fromTOR = toLocal
-		tc.toLocals = append(tc.toLocals, toLocal)
-		tc.localIDs = append(tc.localIDs, uint32(srv.ID))
-		tc.toLocalByID[uint32(srv.ID)] = toLocal
+		// Bidirectional control channel local ↔ each of the rack's TOR
+		// controller replicas (reports are broadcast so standbys stay
+		// warm; only the leader answers).
+		for _, tc := range m.RackCtls[lc.rack] {
+			toTOR, toLocal := openflow.Pair(c.Eng, cfg.ControlDelay, lc, tc)
+			lc.toTORs = append(lc.toTORs, toTOR)
+			lc.fromTORs = append(lc.fromTORs, toLocal)
+			tc.toLocals = append(tc.toLocals, toLocal)
+			tc.localIDs = append(tc.localIDs, uint32(srv.ID))
+			tc.toLocalByID[uint32(srv.ID)] = toLocal
+		}
+		lc.toTOR = lc.toTORs[0]
+		lc.fromTOR = lc.fromTORs[0]
 	}
 	return m
 }
 
+// haEnabled reports whether any HA machinery (replication or leases) is
+// active; when false the manager behaves exactly like the original
+// single-controller implementation.
+func (m *Manager) haEnabled() bool {
+	return m.Cfg.HA.Replicas > 1 || m.Cfg.HA.LeaseTTL > 0
+}
+
+// Replicas returns rack r's controller replica group (index 0 is the
+// bootstrap leader).
+func (m *Manager) Replicas(r int) []*TORController { return m.RackCtls[r] }
+
+// LeaderOf returns rack r's current acting leader, or nil during an
+// election gap (or while every replica is crashed/paused).
+func (m *Manager) LeaderOf(r int) *TORController {
+	for _, tc := range m.RackCtls[r] {
+		if tc.isLeader && !tc.crashed && !tc.paused {
+			return tc
+		}
+	}
+	return nil
+}
+
+// FenceStats sums the switch agents' fencing counters across racks:
+// messages rejected for carrying a stale leadership term, and — the
+// split-brain invariant, which must stay zero — terms in which two
+// different controller replicas acted.
+func (m *Manager) FenceStats() (fenced, termConflicts uint64) {
+	for _, a := range m.agents {
+		fenced += a.FencedInstalls
+		termConflicts += a.TermConflicts
+	}
+	return
+}
+
 // RegisterFaults names the rule manager's fault surfaces on the injector:
 // channel "local<i>-tor" is server i's control connection to its rack's
-// TOR controller, "torctl<r>-switch" is rack r's controller↔switch-agent
-// connection, table "tor<r>" is rack r's TCAM install path, and
-// controller "torctl<r>" is rack r's crashable TOR controller process.
-// Each server's measurement engine is additionally registered as stats
-// tap "stats<i>" so plans can lose or delay its demand reports.
+// primary TOR controller, "torctl<r>-switch" is rack r's primary
+// controller↔switch-agent connection, table "tor<r>" is rack r's TCAM
+// install path, and controller "torctl<r>" is rack r's crashable TOR
+// controller process. Each server's measurement engine is additionally
+// registered as stats tap "stats<i>" so plans can lose or delay its
+// demand reports.
+//
+// With controller replication the extra replicas get suffixed names
+// ("torctl<r>.<i>", "torctl<r>.<i>-switch", "local<s>-tor.<i>"), the
+// pairwise election channels become "elect<r>.<i>-<j>", and every replica
+// is additionally registered as a partitionable node (symmetric and
+// asymmetric network partitions) and as a pausable process.
 func (m *Manager) RegisterFaults(inj *faults.Injector) {
 	for i, lc := range m.Locals {
-		inj.RegisterChannel(fmt.Sprintf("local%d-tor", i), lc.toTOR, lc.fromTOR)
+		for j, tr := range lc.toTORs {
+			name := fmt.Sprintf("local%d-tor", i)
+			if j > 0 {
+				name = fmt.Sprintf("local%d-tor.%d", i, j)
+			}
+			inj.RegisterChannel(name, tr, lc.fromTORs[j])
+		}
 		inj.RegisterStatsTap(fmt.Sprintf("stats%d", i), lc.me)
 	}
-	for r, tc := range m.TORCtls {
-		inj.RegisterChannel(fmt.Sprintf("torctl%d-switch", r), tc.toSwitch, tc.fromSwitch)
-		inj.RegisterTable(fmt.Sprintf("tor%d", r), tc.tor)
-		inj.RegisterController(fmt.Sprintf("torctl%d", r), tc)
+	for r, rack := range m.RackCtls {
+		inj.RegisterTable(fmt.Sprintf("tor%d", r), rack[0].tor)
+		for i, tc := range rack {
+			base := fmt.Sprintf("torctl%d", r)
+			if i > 0 {
+				base = fmt.Sprintf("torctl%d.%d", r, i)
+			}
+			inj.RegisterChannel(base+"-switch", tc.toSwitch, tc.fromSwitch)
+			inj.RegisterController(base, tc)
+			inj.RegisterPausable(base, tc)
+			// Partition surface: every channel direction delivering to
+			// (inbound) or sent by (outbound) this replica — switch
+			// connection, local-controller connections, election peers.
+			var in, out []faults.Channel
+			in = append(in, tc.fromSwitch)
+			out = append(out, tc.toSwitch)
+			for _, lc := range m.Locals {
+				if lc.rack == r {
+					in = append(in, lc.toTORs[i])
+				}
+			}
+			for _, tr := range tc.toLocals {
+				out = append(out, tr)
+			}
+			for j, other := range rack {
+				if j == i {
+					continue
+				}
+				in = append(in, other.toPeers[i])
+				out = append(out, tc.toPeers[j])
+			}
+			inj.RegisterPartition(base, in, out)
+		}
+		for i := 0; i < len(rack); i++ {
+			for j := i + 1; j < len(rack); j++ {
+				inj.RegisterChannel(fmt.Sprintf("elect%d.%d-%d", r, i, j),
+					rack[i].toPeers[j], rack[j].toPeers[i])
+			}
+		}
 	}
 }
 
@@ -213,8 +378,10 @@ func (m *Manager) Start() {
 	for _, lc := range m.Locals {
 		lc.start()
 	}
-	for _, tc := range m.TORCtls {
-		tc.start()
+	for _, rack := range m.RackCtls {
+		for _, tc := range rack {
+			tc.start()
+		}
 	}
 }
 
@@ -227,8 +394,10 @@ func (m *Manager) Stop() {
 	for _, lc := range m.Locals {
 		lc.stop()
 	}
-	for _, tc := range m.TORCtls {
-		tc.stop()
+	for _, rack := range m.RackCtls {
+		for _, tc := range rack {
+			tc.stop()
+		}
 	}
 }
 
@@ -266,9 +435,12 @@ func (m *Manager) MigrateVM(fromIdx, toIdx int, tenant packet.TenantID, vmIP pac
 	}
 	// 1. Pull every offloaded rule touching this VM back to software —
 	// at every rack, since remote racks hold the matching ACLs for
-	// cross-rack express lanes.
-	for _, tc := range m.TORCtls {
-		tc.demoteVM(tenant, vmIP)
+	// cross-rack express lanes. Every replica is asked; only the acting
+	// leaders do anything.
+	for _, rack := range m.RackCtls {
+		for _, tc := range rack {
+			tc.demoteVM(tenant, vmIP)
+		}
 	}
 	// 2. Export the demand profile from the source local controller.
 	var prof measure.Profile
@@ -300,11 +472,15 @@ func (m *Manager) MigrateVM(fromIdx, toIdx int, tenant packet.TenantID, vmIP pac
 func (m *Manager) OffloadedPatterns() []rules.Pattern {
 	seen := make(map[rules.Pattern]bool)
 	var out []rules.Pattern
-	for _, tc := range m.TORCtls {
-		for _, p := range tc.offloadedList() {
-			if !seen[p] {
-				seen[p] = true
-				out = append(out, p)
+	for _, rack := range m.RackCtls {
+		// Only the acting leader holds a desired set (step-down clears
+		// it), so the union over replicas is the union over leaders.
+		for _, tc := range rack {
+			for _, p := range tc.offloadedList() {
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
 			}
 		}
 	}
@@ -319,10 +495,19 @@ func (m *Manager) OffloadedPatterns() []rules.Pattern {
 func (m *Manager) Transports() []*openflow.Transport {
 	var out []*openflow.Transport
 	for _, lc := range m.Locals {
-		out = append(out, lc.toTOR, lc.fromTOR)
+		for i := range lc.toTORs {
+			out = append(out, lc.toTORs[i], lc.fromTORs[i])
+		}
 	}
-	for _, tc := range m.TORCtls {
-		out = append(out, tc.toSwitch, tc.fromSwitch)
+	for _, rack := range m.RackCtls {
+		for _, tc := range rack {
+			out = append(out, tc.toSwitch, tc.fromSwitch)
+		}
+		for i := 0; i < len(rack); i++ {
+			for j := i + 1; j < len(rack); j++ {
+				out = append(out, rack[i].toPeers[j], rack[j].toPeers[i])
+			}
+		}
 	}
 	return out
 }
@@ -331,14 +516,24 @@ func (m *Manager) Transports() []*openflow.Transport {
 // bytes on all transports, ME samples taken (§6.2.2's controller cost).
 func (m *Manager) ControlStats() (messages, bytes, samples uint64) {
 	for _, lc := range m.Locals {
-		messages += lc.toTOR.Sent
-		bytes += lc.toTOR.SentBytes
-		samples += lc.me.Samples
-	}
-	for _, tc := range m.TORCtls {
-		for _, tr := range tc.toLocals {
+		for _, tr := range lc.toTORs {
 			messages += tr.Sent
 			bytes += tr.SentBytes
+		}
+		samples += lc.me.Samples
+	}
+	for _, rack := range m.RackCtls {
+		for _, tc := range rack {
+			for _, tr := range tc.toLocals {
+				messages += tr.Sent
+				bytes += tr.SentBytes
+			}
+			// Election heartbeats and term gossip are control-plane
+			// coordination too (zero with HA disabled).
+			for _, tr := range tc.toPeers {
+				messages += tr.Sent
+				bytes += tr.SentBytes
+			}
 		}
 	}
 	return
@@ -349,9 +544,11 @@ func (m *Manager) ControlStats() (messages, bytes, samples uint64) {
 // its switch agent) — kept separate from ControlStats, whose coordination
 // messages the §6.2.2 overhead accounting covers.
 func (m *Manager) SwitchStats() (messages, bytes uint64) {
-	for _, tc := range m.TORCtls {
-		messages += tc.toSwitch.Sent + tc.fromSwitch.Sent
-		bytes += tc.toSwitch.SentBytes + tc.fromSwitch.SentBytes
+	for _, rack := range m.RackCtls {
+		for _, tc := range rack {
+			messages += tc.toSwitch.Sent + tc.fromSwitch.Sent
+			bytes += tc.toSwitch.SentBytes + tc.fromSwitch.SentBytes
+		}
 	}
 	return
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/decision"
 	"repro/internal/fps"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/openflow"
 	"repro/internal/rules"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/vswitch"
 )
@@ -21,10 +23,17 @@ type LocalController struct {
 	mgr    *Manager
 	server *host.Server
 	me     *measure.Engine
-	toTOR  *openflow.Transport
-	// fromTOR is the reverse direction of the control connection, kept
-	// for fault-target registration.
-	fromTOR *openflow.Transport
+	// toTOR/fromTOR is the control connection to the rack's primary TOR
+	// controller (replica 0); toTORs/fromTORs cover the whole replica
+	// group — reports and acks are broadcast so hot standbys stay warm,
+	// and the fenced term decides whose decisions are obeyed. With HA
+	// disabled the slices hold exactly the primary pair.
+	toTOR    *openflow.Transport
+	fromTOR  *openflow.Transport
+	toTORs   []*openflow.Transport
+	fromTORs []*openflow.Transport
+	// rack is this server's rack index (for fault registration).
+	rack int
 
 	// limiters holds per-VM FPS state.
 	limiters map[vswitch.VMKey]*decision.Limiter
@@ -39,6 +48,21 @@ type LocalController struct {
 	// lastSyncSeq is the highest RuleSync sequence applied; stale
 	// (reordered) syncs are not re-applied but are re-acked.
 	lastSyncSeq uint32
+	// termSeen is the newest leadership term witnessed; decisions and
+	// syncs from older terms are dropped (a deposed leader must not
+	// reprogram placers) and a newer term resets the RuleSync sequence
+	// space — each leader numbers its syncs independently.
+	termSeen uint32
+	// lastLeaderContact and leaseTicker drive the placer-side lease
+	// fail-safe: half a LeaseTTL without a current-term leader message
+	// expires every placement back to the software path — strictly
+	// before the TCAM rules expire at a full TTL, so an orphaned express
+	// lane degrades instead of blackholing.
+	lastLeaderContact sim.Time
+	leaseTicker       *sim.Ticker
+	// ackPending is set while a SyncAck is deferred behind a non-empty
+	// uplink queue; see scheduleAck.
+	ackPending bool
 
 	// FlowMods counts placer programming operations (controller cost).
 	FlowMods uint64
@@ -46,6 +70,10 @@ type LocalController struct {
 	NICMods uint64
 	// Hints counts overload-signal transitions forwarded to the TOR DE.
 	Hints uint64
+	// FencedMsgs counts stale-term control messages dropped.
+	FencedMsgs uint64
+	// PlacerExpiries counts placements expired by the lease fail-safe.
+	PlacerExpiries uint64
 
 	// rec is the flight-recorder scope; nil when telemetry is disabled.
 	rec *telemetry.Scoped
@@ -84,12 +112,15 @@ func (lc *LocalController) onOverload(sig vswitch.OverloadSignal) {
 		lc.rec.Record(telemetry.Event{Kind: telemetry.KindHint, Cause: cause,
 			Tenant: sig.Offender, V1: sig.Utilization, V2: sig.MissPPS})
 	}
-	lc.toTOR.Send(&openflow.OverloadHint{
+	hint := &openflow.OverloadHint{
 		ServerID:   uint32(lc.server.ID),
 		Tenant:     sig.Offender,
 		Overloaded: sig.Overloaded,
 		MissPPS:    sig.MissPPS,
-	})
+	}
+	for _, tr := range lc.toTORs {
+		tr.Send(hint)
+	}
 }
 
 // MEFaultStats reports how many demand reports the stats fault surface
@@ -98,8 +129,68 @@ func (lc *LocalController) MEFaultStats() (lost, delayed uint64) {
 	return lc.me.ReportsLost, lc.me.ReportsDelayed
 }
 
-func (lc *LocalController) start() { lc.me.Start() }
-func (lc *LocalController) stop()  { lc.me.Stop() }
+func (lc *LocalController) start() {
+	lc.me.Start()
+	if ttl := lc.mgr.Cfg.HA.LeaseTTL; ttl > 0 {
+		lc.lastLeaderContact = lc.mgr.Cluster.Eng.Now()
+		lc.leaseTicker = lc.mgr.Cluster.Eng.Every(ttl/8, lc.checkLease)
+	}
+}
+
+func (lc *LocalController) stop() {
+	lc.me.Stop()
+	if lc.leaseTicker != nil {
+		lc.leaseTicker.Stop()
+		lc.leaseTicker = nil
+	}
+}
+
+// checkLease is the placer-side lease fail-safe. The SmartNIC's own lease
+// sweeper expires the device rules on the same silence independently.
+func (lc *LocalController) checkLease() {
+	ttl := lc.mgr.Cfg.HA.LeaseTTL
+	if len(lc.installed) == 0 ||
+		lc.mgr.Cluster.Eng.Now()-lc.lastLeaderContact <= sim.Time(ttl)/2 {
+		return
+	}
+	ps := make([]rules.Pattern, 0, len(lc.installed))
+	for p := range lc.installed {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].String() < ps[j].String() })
+	for _, p := range ps {
+		lc.removePlacement(p)
+	}
+	lc.PlacerExpiries += uint64(len(ps))
+	if lc.rec != nil {
+		lc.rec.Record(telemetry.Event{Kind: telemetry.KindLeaseExpire, Cause: "placer",
+			V1: float64(len(ps)), V2: float64(lc.termSeen)})
+	}
+}
+
+// admitTerm fences a TOR-controller message carrying leadership term
+// `term`: stale terms are dropped, newer ones adopted. Any current-term
+// leader message is proof of leader liveness — it refreshes the placer
+// lease and the host SmartNIC's rule leases.
+func (lc *LocalController) admitTerm(term uint32, cause string) bool {
+	if term < lc.termSeen {
+		lc.FencedMsgs++
+		if lc.rec != nil {
+			lc.rec.Record(telemetry.Event{Kind: telemetry.KindFenceReject, Cause: cause,
+				V1: float64(term), V2: float64(lc.termSeen)})
+		}
+		return false
+	}
+	if term > lc.termSeen {
+		lc.termSeen = term
+		lc.lastSyncSeq = 0
+	}
+	lc.lastLeaderContact = lc.mgr.Cluster.Eng.Now()
+	if n := lc.server.SmartNIC; n != nil {
+		n.RefreshAllLeases()
+	}
+	return true
+}
 
 // readDatapath snapshots the vswitch's per-flow counters (§5.2: "queries
 // the OVS datapath for active flow statistics").
@@ -139,7 +230,11 @@ func (lc *LocalController) sendReport(rep openflow.DemandReport) {
 	}
 	for _, chunk := range openflow.ChunkDemandReport(rep) {
 		chunk := chunk
-		lc.toTOR.Send(&chunk)
+		// Broadcast to the whole replica group: hot standbys rebuild the
+		// demand view passively from the same reports the leader acts on.
+		for _, tr := range lc.toTORs {
+			tr.Send(&chunk)
+		}
 	}
 }
 
@@ -160,6 +255,9 @@ func (lc *LocalController) HandleMessage(msg openflow.Message, xid uint32, reply
 // removal at the TOR: by acking, this server asserts none of its placers
 // still steer flows excluded from the set through the express lane.
 func (lc *LocalController) applySync(m *openflow.RuleSync) {
+	if !lc.admitTerm(m.Term, "sync") {
+		return // deposed leader's sync; no ack, let it fence on the switch
+	}
 	if m.Seq >= lc.lastSyncSeq {
 		desired := make(map[rules.Pattern]bool, len(m.Patterns))
 		for _, p := range m.Patterns {
@@ -181,11 +279,56 @@ func (lc *LocalController) applySync(m *openflow.RuleSync) {
 		}
 		lc.lastSyncSeq = m.Seq
 	}
-	lc.toTOR.Send(&openflow.SyncAck{ServerID: uint32(lc.server.ID), Seq: lc.lastSyncSeq})
+	lc.scheduleAck()
+}
+
+// ackRecheck paces the deferred-ack poll while the access link holds
+// undelivered packets.
+const ackRecheck = time.Millisecond
+
+// scheduleAck sends the SyncAck once this server can honestly make the
+// ack's assertion. Re-routing the placers is not enough: packets this
+// host steered into the express lane while steering was still lawful may
+// sit in the access-link queue behind a down or congested uplink, and an
+// ack sent before they drain would let the TOR delete the ACL from under
+// them. The ack is therefore deferred until the uplink queue is empty; it
+// always carries the newest seq/term at send time, so deferred acks
+// collapse into one.
+func (lc *LocalController) scheduleAck() {
+	if lc.ackPending {
+		return
+	}
+	if up := lc.mgr.Cluster.Uplink(lc.server.ID); up != nil && up.QueueLen() > 0 {
+		lc.ackPending = true
+		lc.mgr.Cluster.Eng.After(ackRecheck, lc.retryAck)
+		return
+	}
+	lc.sendAck()
+}
+
+func (lc *LocalController) retryAck() {
+	if up := lc.mgr.Cluster.Uplink(lc.server.ID); up != nil && up.QueueLen() > 0 {
+		lc.mgr.Cluster.Eng.After(ackRecheck, lc.retryAck)
+		return
+	}
+	lc.ackPending = false
+	lc.sendAck()
+}
+
+// sendAck broadcasts the SyncAck — the acting leader recognizes its own
+// term, anyone else ignores it.
+func (lc *LocalController) sendAck() {
+	ack := &openflow.SyncAck{ServerID: uint32(lc.server.ID), Seq: lc.lastSyncSeq, Term: lc.termSeen}
+	for _, tr := range lc.toTORs {
+		tr.Send(ack)
+	}
 }
 
 // applyDecision programs flow placers and recomputes rate splits.
 func (lc *LocalController) applyDecision(d *openflow.OffloadDecision) {
+	if !lc.admitTerm(d.Term, "decision") {
+		return
+	}
 	for _, r := range d.HWRates {
 		lc.lastHW[vswitch.VMKey{Tenant: r.Tenant, IP: r.VMIP}] = r
 	}

@@ -168,7 +168,8 @@ func (tc *TORController) sendNICActions(server uint32, acts []openflow.OffloadAc
 		return
 	}
 	if tr, ok := tc.toLocalByID[server]; ok {
-		tr.Send(&openflow.OffloadDecision{Actions: acts})
+		tr.Send(&openflow.OffloadDecision{Actions: acts,
+			Term: tc.term, Origin: uint32(tc.replicaID)})
 	}
 }
 

@@ -193,6 +193,44 @@ type TORController struct {
 	stopped bool
 	crashed bool
 
+	// ---- control-plane HA state ----
+
+	// replicaID identifies this replica within its rack's controller
+	// group (0 is the bootstrap leader); toPeers carries election
+	// heartbeats and term gossip to the other replicas; agent is the
+	// rack's shared switch agent (fencing counters live there).
+	replicaID int
+	toPeers   map[int]*openflow.Transport
+	agent     *switchAgent
+	// term is the current leadership epoch. 0 means HA is disabled and
+	// the controller behaves exactly like the original single-instance
+	// manager. Terms are partitioned across replicas — replica i only
+	// claims terms with (term-1) mod Replicas == i — so two replicas can
+	// never lead under the same term; the switch agent fences stale
+	// terms, leaving election a pure liveness mechanism.
+	term     uint32
+	isLeader bool
+	// leaderID is the replica this follower believes leads; with
+	// followingHigherSince (-1 when not following a higher id) it drives
+	// the lowest-id-alive preemption after partitions heal.
+	leaderID             int
+	followingHigherSince sim.Time
+	lastHeartbeatAt      sim.Time
+	// justElected forces a full refresh+publish+reconcile on the first
+	// DE tick after a takeover.
+	justElected bool
+	// lastTableReplyAt is the last proof the switch hardware was
+	// reachable. With leases enabled, a leader silent of TableReplies for
+	// half a TTL enters degraded mode: every offload is pulled back to
+	// software *before* the unrefreshable TCAM rules expire under
+	// still-steering placers.
+	lastTableReplyAt sim.Time
+	degraded         bool
+	// paused models a frozen (SIGSTOP) process: state survives, but the
+	// process misses heartbeats and drops arriving messages.
+	paused      bool
+	electTicker *sim.Ticker
+
 	// rec is the flight-recorder scope; nil when telemetry is disabled.
 	rec *telemetry.Scoped
 
@@ -229,6 +267,20 @@ type TORController struct {
 	NICDemotes    uint64
 	NICReasserts  uint64
 	NICOrphans    uint64
+	// Elections counts leadership takeovers by this replica; StepDowns
+	// counts leaderships abandoned (superseded, fenced, paused).
+	Elections uint64
+	StepDowns uint64
+	// FencedOut counts ErrCodeStaleTerm rejections received from the
+	// switch agent — each one is a deposed leader caught acting.
+	FencedOut uint64
+	// Pauses counts Pause() invocations (faults.ControllerPause).
+	Pauses uint64
+	// LeaseRefreshes counts re-asserted FlowAdds sent to extend rule
+	// leases; DegradedDemotes counts offloads pulled back by the
+	// hardware-staleness guard.
+	LeaseRefreshes  uint64
+	DegradedDemotes uint64
 }
 
 func newTORController(m *Manager, t *tor.TOR) *TORController {
@@ -255,6 +307,10 @@ func newTORController(m *Manager, t *tor.TOR) *TORController {
 		ackedSeq:       make(map[uint32]uint32),
 		prevHW:         make(map[rules.Pattern]uint64),
 		installedHW:    make(map[vswitch.VMKey]openflow.RateSplit),
+
+		toPeers:              make(map[int]*openflow.Transport),
+		isLeader:             true,
+		followingHigherSince: -1,
 	}
 }
 
@@ -263,24 +319,75 @@ func (tc *TORController) controlInterval() time.Duration {
 	return tc.mgr.Cfg.Measure.Epoch * time.Duration(tc.mgr.Cfg.Measure.EpochsPerInterval)
 }
 
+// ---- HA parameters ----
+
+func (tc *TORController) replicas() int {
+	if n := tc.mgr.Cfg.HA.Replicas; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// haReplicated reports whether this controller has standby peers.
+func (tc *TORController) haReplicated() bool { return tc.replicas() > 1 }
+
+func (tc *TORController) heartbeatEvery() time.Duration {
+	if d := tc.mgr.Cfg.HA.HeartbeatEvery; d > 0 {
+		return d
+	}
+	return tc.controlInterval() / 2
+}
+
+// electionTimeout staggers by replica id so the lowest-id alive replica
+// claims first (its claim's heartbeats reset everyone else's timers well
+// before their own timeouts fire).
+func (tc *TORController) electionTimeout() time.Duration {
+	base := tc.mgr.Cfg.HA.ElectionTimeout
+	if base <= 0 {
+		base = 2 * tc.controlInterval()
+	}
+	return base + time.Duration(tc.replicaID)*tc.heartbeatEvery()
+}
+
+// nextTerm is the smallest term above the current one in this replica's
+// residue class — the structural guarantee that no two replicas ever
+// share a term.
+func (tc *TORController) nextTerm() uint32 {
+	n := uint32(tc.replicas())
+	t := tc.term + 1
+	for (t-1)%n != uint32(tc.replicaID) {
+		t++
+	}
+	return t
+}
+
 func (tc *TORController) start() {
 	tc.stopped = false
+	eng := tc.mgr.Cluster.Eng
+	tc.lastHeartbeatAt = eng.Now()
+	tc.lastTableReplyAt = eng.Now()
 	// Offset the DE ticks so each interval's demand reports (epoch
 	// boundary + sample gap + control delay) have arrived.
 	offset := tc.mgr.Cfg.Measure.SampleGap + 4*tc.mgr.Cfg.ControlDelay + time.Millisecond
-	eng := tc.mgr.Cluster.Eng
 	eng.After(offset, func() {
 		if tc.stopped || tc.crashed {
 			return
 		}
 		tc.ticker = eng.Every(tc.controlInterval(), tc.tick)
 	})
+	if tc.haReplicated() {
+		tc.electTicker = eng.Every(tc.heartbeatEvery(), tc.electionTick)
+	}
 }
 
 func (tc *TORController) stop() {
 	tc.stopped = true
 	if tc.ticker != nil {
 		tc.ticker.Stop()
+	}
+	if tc.electTicker != nil {
+		tc.electTicker.Stop()
+		tc.electTicker = nil
 	}
 }
 
@@ -304,6 +411,18 @@ func (tc *TORController) Crash() {
 		tc.ticker.Stop()
 		tc.ticker = nil
 	}
+	if tc.electTicker != nil {
+		tc.electTicker.Stop()
+		tc.electTicker = nil
+	}
+	// A crashed replica is no leader; its term dies with it and the
+	// standbys elect a successor. (Single-instance deployments keep the
+	// legacy behavior: the restarted process resumes directly.)
+	if tc.haReplicated() {
+		tc.isLeader = false
+	}
+	tc.degraded = false
+	tc.justElected = false
 	for _, st := range tc.installing {
 		if st.timer != nil {
 			st.timer.Cancel()
@@ -355,17 +474,12 @@ func (tc *TORController) Restart() {
 		return
 	}
 	tc.crashed = false
-	for _, ri := range tc.tor.Rules() {
-		if ri.Priority == hwPriority {
-			tc.offloaded[ri.Pattern] = true
-		}
+	// A replicated controller restarts as a follower and adopts nothing:
+	// the acting leader owns the hardware state, and this replica would
+	// only claim (and adopt at that point) if the whole group went quiet.
+	if !tc.haReplicated() {
+		tc.adoptHardware()
 	}
-	// Re-seed counter baselines so the first post-restart interval does
-	// not see the whole uptime's packets as one delta.
-	for _, st := range tc.tor.Stats() {
-		tc.prevHW[st.Pattern] = st.Packets
-	}
-	tc.prevHWAt = tc.mgr.Cluster.Eng.Now()
 	if tc.rec != nil {
 		// V1 is the number of hardware rules adopted as the desired set.
 		tc.rec.Record(telemetry.Event{Kind: telemetry.KindRestart,
@@ -376,12 +490,279 @@ func (tc *TORController) Restart() {
 	}
 }
 
+// adoptHardware imports the switch's installed offload rules as the
+// desired set and re-seeds counter baselines so the first interval after
+// a restart/takeover does not see the whole uptime's packets as one
+// delta. Placers may still steer through those rules, so starting from an
+// empty desired set — and reconciling the "extra" hardware rules away —
+// would blackhole them.
+func (tc *TORController) adoptHardware() {
+	for _, ri := range tc.tor.Rules() {
+		if ri.Priority == hwPriority {
+			tc.offloaded[ri.Pattern] = true
+		}
+	}
+	for _, st := range tc.tor.Stats() {
+		tc.prevHW[st.Pattern] = st.Packets
+	}
+	tc.prevHWAt = tc.mgr.Cluster.Eng.Now()
+}
+
+// ---- leader election (hot-standby HA) ----
+
+// electionTick runs every heartbeat period on every live replica: leaders
+// heartbeat their peers; followers claim the rack when the leader goes
+// silent past the (id-staggered) election timeout, or preempt a
+// higher-id leader once they have been healthy followers long enough —
+// restoring lowest-id-alive leadership after partitions heal.
+func (tc *TORController) electionTick() {
+	if tc.stopped || tc.crashed || tc.paused {
+		return
+	}
+	now := tc.mgr.Cluster.Eng.Now()
+	if tc.isLeader {
+		tc.sendHeartbeats()
+		return
+	}
+	if now-tc.lastHeartbeatAt > tc.electionTimeout() {
+		tc.becomeLeader("timeout")
+		return
+	}
+	if tc.leaderID > tc.replicaID && tc.followingHigherSince >= 0 &&
+		now-tc.followingHigherSince > tc.electionTimeout() {
+		tc.becomeLeader("preempt")
+	}
+}
+
+func (tc *TORController) sendHeartbeats() {
+	hb := &openflow.LeaderHeartbeat{Term: tc.term, LeaderID: uint32(tc.replicaID)}
+	ids := make([]int, 0, len(tc.toPeers))
+	for id := range tc.toPeers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tc.toPeers[id].Send(hb)
+	}
+}
+
+// handleHeartbeat processes a peer's view of leadership. Heartbeats only
+// carry liveness and term ordering — safety never depends on them (the
+// switch agent fences stale terms regardless of what replicas believe).
+func (tc *TORController) handleHeartbeat(m *openflow.LeaderHeartbeat) {
+	now := tc.mgr.Cluster.Eng.Now()
+	switch {
+	case m.Term < tc.term:
+		// A stale leader still announcing itself (asymmetric partition,
+		// or one healing): gossip the newer term back so it steps down
+		// even before the switch agent fences its next install.
+		if tr, ok := tc.toPeers[int(m.LeaderID)]; ok {
+			tr.Send(&openflow.LeaderHeartbeat{Term: tc.term, LeaderID: uint32(tc.leaderID)})
+		}
+	case m.Term == tc.term:
+		if !tc.isLeader && int(m.LeaderID) == tc.leaderID {
+			tc.lastHeartbeatAt = now
+		}
+	default: // m.Term > tc.term
+		if tc.isLeader {
+			tc.stepDown("superseded")
+		}
+		tc.term = m.Term
+		tc.setFollowing(int(m.LeaderID), now)
+		tc.lastHeartbeatAt = now
+	}
+}
+
+func (tc *TORController) setFollowing(id int, now sim.Time) {
+	tc.leaderID = id
+	if id > tc.replicaID {
+		if tc.followingHigherSince < 0 {
+			tc.followingHigherSince = now
+		}
+	} else {
+		tc.followingHigherSince = -1
+	}
+}
+
+// becomeLeader claims the rack under a fresh term from this replica's
+// residue class. The claim does not need to be "right": if a healthier
+// leader exists under a higher term, this replica's first hardware
+// mutation is fenced and it steps straight back down — election provides
+// liveness, fencing provides safety.
+func (tc *TORController) becomeLeader(cause string) {
+	tc.term = tc.nextTerm()
+	tc.isLeader = true
+	tc.leaderID = tc.replicaID
+	tc.followingHigherSince = -1
+	tc.Elections++
+	// Adopt the hardware's installed rules as the desired set: placers
+	// may still steer through them (same reasoning as Restart).
+	tc.adoptHardware()
+	// Fresh term, fresh ack space: each leadership numbers RuleSyncs
+	// independently and trusts only same-term acks.
+	tc.ackedSeq = make(map[uint32]uint32)
+	tc.lastTableReplyAt = tc.mgr.Cluster.Eng.Now()
+	tc.degraded = false
+	tc.justElected = true
+	tc.lastPublished = nil
+	if tc.rec != nil {
+		tc.rec.Record(telemetry.Event{Kind: telemetry.KindElection, Cause: cause,
+			V1: float64(tc.term), V2: float64(tc.replicaID)})
+	}
+	// Immediate heartbeats: standbys with later timeouts stand down now.
+	tc.sendHeartbeats()
+}
+
+// stepDown abandons leadership: all in-flight install/remove machinery is
+// cancelled and the desired set dropped — the next leader adopts hardware
+// state directly, so carrying a view here would only invite split-brain
+// writes. Demand reports, the smoother and the dampers stay warm; that is
+// what makes the standby "hot".
+func (tc *TORController) stepDown(cause string) {
+	if !tc.isLeader {
+		return
+	}
+	tc.isLeader = false
+	tc.StepDowns++
+	tc.followingHigherSince = -1
+	tc.lastHeartbeatAt = tc.mgr.Cluster.Eng.Now()
+	for _, st := range tc.installing {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+	}
+	for _, st := range tc.removing {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+	}
+	tc.installing = make(map[rules.Pattern]*installState)
+	tc.removing = make(map[rules.Pattern]*removeState)
+	tc.offloaded = make(map[rules.Pattern]bool)
+	tc.prevHW = make(map[rules.Pattern]uint64)
+	tc.pendingBarrier = make(map[uint32]func())
+	tc.pendingInstall = make(map[uint32]rules.Pattern)
+	tc.pendingAnnounce = nil
+	tc.lastPublished = nil
+	tc.sincePublish = 0
+	tc.nicDesired = make(map[rules.Pattern]uint32)
+	tc.degraded = false
+	tc.justElected = false
+	if tc.rec != nil {
+		tc.rec.Record(telemetry.Event{Kind: telemetry.KindElection, Cause: "step-down-" + cause,
+			V1: float64(tc.term), V2: float64(tc.replicaID)})
+	}
+}
+
+// Pause freezes the controller process (faults.ControllerPause). Unlike a
+// crash, in-memory state survives — which is exactly why it is a distinct
+// fault surface: the process resumes believing its pre-pause term, and
+// only fencing stops it from acting on that stale belief. A paused leader
+// steps down internally (its in-flight machinery is dead on arrival by
+// resume time); messages arriving while frozen are dropped. Implements
+// faults.Pausable.
+func (tc *TORController) Pause() {
+	if tc.paused || tc.crashed {
+		return
+	}
+	tc.paused = true
+	tc.Pauses++
+	tc.stepDown("pause")
+}
+
+// Resume unfreezes the process. A single-instance deployment resumes
+// leadership directly, re-adopting hardware state like a restart; a
+// replicated one resumes as a follower — if no successor emerged while it
+// was frozen, its election timeout re-elects it. Implements
+// faults.Pausable.
+func (tc *TORController) Resume() {
+	if !tc.paused {
+		return
+	}
+	tc.paused = false
+	now := tc.mgr.Cluster.Eng.Now()
+	tc.lastHeartbeatAt = now
+	tc.lastTableReplyAt = now
+	if !tc.haReplicated() {
+		tc.isLeader = true
+		tc.adoptHardware()
+	}
+	if tc.rec != nil {
+		tc.rec.Record(telemetry.Event{Kind: telemetry.KindElection, Cause: "resume",
+			V1: float64(tc.term), V2: float64(tc.replicaID)})
+	}
+}
+
+// ---- lease refresh and degraded mode ----
+
+// refreshLeases re-asserts every confirmed offload rule on the reconcile
+// cadence. The switch agent treats an identical FlowAdd as an idempotent
+// no-op that extends the rule's lease, and the TableRequest that follows
+// on the same FIFO channel refreshes whatever an individual lost FlowAdd
+// missed — so with a healthy path a desired rule can never expire
+// (HAConfig.LeaseTTL must exceed two reconcile periods). A rule that went
+// missing from hardware is reinstalled as a side effect, making the
+// refresh double as fast repair.
+func (tc *TORController) refreshLeases() {
+	if tc.mgr.Cfg.HA.LeaseTTL <= 0 {
+		return
+	}
+	for _, p := range tc.offloadedList() {
+		action, queue := tc.policyFor(p)
+		if action != rules.Allow {
+			continue // policy changed; let the lease lapse
+		}
+		tc.toSwitch.Send(&openflow.FlowMod{
+			Command: openflow.FlowAdd, Pattern: p, Priority: hwPriority,
+			Cookie: uint64(queue), Term: tc.term, Origin: uint32(tc.replicaID),
+		})
+		tc.LeaseRefreshes++
+	}
+}
+
+// enterDegraded is the leader-side anti-blackhole guard for the lease
+// fail-safe: no TableReply for half a LeaseTTL means the switch agent is
+// unreachable, the TCAM leases cannot be refreshed, and the hardware
+// rules will expire under placers this leader also cannot re-route
+// afterwards. Pull every express lane back to software NOW — demotions
+// announced to placers, ACL removal gated as usual (and covered by lease
+// expiry if the deletes cannot be delivered either) — and stop offloading
+// until the hardware answers again.
+func (tc *TORController) enterDegraded() {
+	tc.degraded = true
+	var aborts []rules.Pattern
+	for p := range tc.installing {
+		aborts = append(aborts, p)
+	}
+	sort.Slice(aborts, func(i, j int) bool { return aborts[i].String() < aborts[j].String() })
+	for _, p := range aborts {
+		tc.abortInstall(p)
+	}
+	ps := tc.offloadedList()
+	now := tc.mgr.Cluster.Eng.Now()
+	for _, p := range ps {
+		tc.beginRemove(p)
+		tc.announce(openflow.OffloadAction{Pattern: p, Offload: false})
+		tc.damper.ForceState(p, false, now)
+		tc.DegradedDemotes++
+	}
+	if tc.rec != nil {
+		tc.rec.Record(telemetry.Event{Kind: telemetry.KindLeaseExpire, Cause: "hw-stale",
+			V1: float64(len(ps)), V2: float64(tc.term)})
+	}
+	if len(ps) > 0 {
+		tc.publish()
+	}
+}
+
 // HandleMessage implements openflow.Handler for messages from local
 // controllers (DemandReport, SyncAck) and from the switch agent
 // (BarrierReply, ErrorMsg, TableReply).
 func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply openflow.ReplyFunc) {
-	if tc.crashed {
-		return // process is down; messages are lost
+	if tc.crashed || tc.paused {
+		// Process down or frozen; messages are lost (a paused process's
+		// socket overflows — anti-entropy re-delivers state on resume).
+		return
 	}
 	switch m := msg.(type) {
 	case *openflow.DemandReport:
@@ -415,7 +796,11 @@ func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply o
 			tc.lastInterval[m.ServerID] = m.Interval
 		}
 		tc.lastReportAt[m.ServerID] = tc.mgr.Cluster.Eng.Now()
-		tc.applySplits(m.Splits)
+		// Standbys keep their demand view warm but must not touch the
+		// (shared) hardware limiters — only the acting leader applies.
+		if tc.isLeader {
+			tc.applySplits(m.Splits)
+		}
 	case *openflow.OverloadHint:
 		tc.Hints++
 		if tc.rec != nil {
@@ -435,16 +820,30 @@ func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply o
 			delete(tc.urgent, m.Tenant)
 		}
 	case *openflow.SyncAck:
+		if m.Term != tc.term {
+			// Each leadership term numbers its RuleSyncs independently;
+			// an ack scoped to another epoch must not un-gate removals.
+			return
+		}
 		if m.Seq > tc.ackedSeq[m.ServerID] {
 			tc.ackedSeq[m.ServerID] = m.Seq
 		}
 		tc.tryRemovals()
+	case *openflow.LeaderHeartbeat:
+		tc.handleHeartbeat(m)
 	case *openflow.BarrierReply:
 		if fn, ok := tc.pendingBarrier[xid]; ok {
 			delete(tc.pendingBarrier, xid)
 			fn()
 		}
 	case *openflow.ErrorMsg:
+		if m.Code == openflow.ErrCodeStaleTerm {
+			// The switch fenced us: a higher term exists, so another
+			// replica took over while we still thought we led.
+			tc.FencedOut++
+			tc.stepDown("fenced")
+			return
+		}
 		if p, ok := tc.pendingInstall[xid]; ok {
 			delete(tc.pendingInstall, xid)
 			if st := tc.installing[p]; st != nil && st.flowXID == xid {
@@ -452,7 +851,11 @@ func (tc *TORController) HandleMessage(msg openflow.Message, xid uint32, reply o
 			}
 		}
 	case *openflow.TableReply:
-		tc.reconcile(m)
+		tc.lastTableReplyAt = tc.mgr.Cluster.Eng.Now()
+		tc.degraded = false
+		if tc.isLeader {
+			tc.reconcile(m)
+		}
 	case openflow.EchoRequest:
 		reply(openflow.EchoReply{}, xid)
 	}
@@ -471,11 +874,22 @@ func (tc *TORController) applySplits(splits []openflow.RateSplit) {
 // tick is one DE run: measure hardware flows, decide, apply, distribute,
 // reconcile.
 func (tc *TORController) tick() {
-	if tc.stopped || tc.crashed {
+	if tc.stopped || tc.crashed || tc.paused {
 		return
+	}
+	if !tc.isLeader {
+		return // hot standby: demand view stays warm, DE stays quiet
 	}
 	tc.Decisions++
 	eng := tc.mgr.Cluster.Eng
+
+	// Hardware-staleness guard (leases only): if the switch agent has
+	// been unreachable for half a TTL, degrade before the TCAM rules
+	// expire under still-steering placers.
+	if ttl := tc.mgr.Cfg.HA.LeaseTTL; ttl > 0 && !tc.degraded &&
+		eng.Now()-tc.lastTableReplyAt > sim.Time(ttl)/2 {
+		tc.enterDegraded()
+	}
 
 	// TOR ME: pps of offloaded entries from TCAM counter deltas.
 	hwPPS := make(map[rules.Pattern]float64)
@@ -580,6 +994,9 @@ func (tc *TORController) tick() {
 		}
 	}
 	for _, p := range d.Offload {
+		if tc.degraded {
+			break // hardware unreachable; no new express lanes
+		}
 		if tc.offloaded[p] || tc.installing[p] != nil {
 			continue // already in hardware or on its way
 		}
@@ -600,17 +1017,30 @@ func (tc *TORController) tick() {
 		Interval: uint32(tc.Decisions),
 		Actions:  actions,
 		HWRates:  tc.hwRates(),
+		Term:     tc.term,
+		Origin:   uint32(tc.replicaID),
 	}
 	for _, tr := range tc.toLocals {
 		tr.Send(dec)
 	}
-	tc.maybePublish()
+	if tc.justElected {
+		// Full sync under the new term right away: locals adopt the term
+		// (resetting their ack space) and reconcile placements against
+		// the adopted desired set.
+		tc.publish()
+	} else {
+		tc.maybePublish()
+	}
 
 	// Anti-entropy: periodically read back the hardware table and
 	// reconcile on reply; the NIC tier reconciles against the cached
-	// report sections on the same cadence.
-	if tc.Decisions%reconcileTicks == 0 {
-		tc.toSwitch.Send(&openflow.TableRequest{})
+	// report sections on the same cadence. Lease refreshes ride the same
+	// cadence, strictly before the TableRequest on the FIFO channel (the
+	// read-back doubles as a bulk refresh at the agent).
+	if tc.Decisions%reconcileTicks == 0 || tc.justElected {
+		tc.justElected = false
+		tc.refreshLeases()
+		tc.toSwitch.Send(&openflow.TableRequest{Term: tc.term, Origin: uint32(tc.replicaID)})
 		tc.nicReconcile()
 	}
 }
@@ -644,10 +1074,27 @@ func (tc *TORController) FlapStats() (transitions, suppressions uint64) {
 func (tc *TORController) maybePublish() {
 	tc.sincePublish++
 	desired := tc.offloadedList()
-	if tc.sincePublish < syncRefreshTicks && patternsEqual(desired, tc.lastPublished) {
+	if tc.sincePublish < syncRefreshTicks && patternsEqual(desired, tc.lastPublished) &&
+		!tc.removalsNeedSync() {
 		return
 	}
 	tc.publishSet(desired)
+}
+
+// removalsNeedSync reports whether a gated removal is waiting on a
+// RuleSync sequence that has not been published yet. Content-deduping
+// alone would miss this case: a pattern installed and demoted entirely
+// between two publishes leaves the desired set equal to the last
+// published one, yet its placers were steering per announcements the
+// published sync never covered — the removal must not wait for the
+// periodic refresh to learn they have stopped.
+func (tc *TORController) removalsNeedSync() bool {
+	for _, st := range tc.removing {
+		if st.needSeq > tc.syncSeq {
+			return true
+		}
+	}
+	return false
 }
 
 // publish sends the full desired offload set (confirmed patterns only) to
@@ -659,7 +1106,8 @@ func (tc *TORController) publishSet(desired []rules.Pattern) {
 	tc.syncSeq++
 	tc.lastPublished = desired
 	tc.sincePublish = 0
-	sync := &openflow.RuleSync{Seq: tc.syncSeq, Patterns: desired}
+	sync := &openflow.RuleSync{Seq: tc.syncSeq, Patterns: desired,
+		Term: tc.term, Origin: uint32(tc.replicaID)}
 	for _, tr := range tc.toLocals {
 		tr.Send(sync)
 	}
@@ -729,7 +1177,8 @@ func (tc *TORController) sendInstall(p rules.Pattern, st *installState) {
 		st.timer.Cancel()
 	}
 	// The QoS queue rides in the cookie (controller bookkeeping field).
-	mod := &openflow.FlowMod{Command: openflow.FlowAdd, Pattern: p, Priority: hwPriority, Cookie: uint64(st.queue)}
+	mod := &openflow.FlowMod{Command: openflow.FlowAdd, Pattern: p, Priority: hwPriority,
+		Cookie: uint64(st.queue), Term: tc.term, Origin: uint32(tc.replicaID)}
 	st.flowXID = tc.toSwitch.Send(mod)
 	tc.pendingInstall[st.flowXID] = p
 	if tc.rec != nil {
@@ -796,13 +1245,14 @@ func (tc *TORController) announce(a openflow.OffloadAction) {
 		tc.announceQueued = false
 		acts := tc.pendingAnnounce
 		tc.pendingAnnounce = nil
-		if tc.crashed || len(acts) == 0 {
+		if tc.crashed || tc.paused || !tc.isLeader || len(acts) == 0 {
 			return
 		}
 		sort.Slice(acts, func(i, j int) bool {
 			return acts[i].Pattern.String() < acts[j].Pattern.String()
 		})
-		dec := &openflow.OffloadDecision{Actions: acts}
+		dec := &openflow.OffloadDecision{Actions: acts,
+			Term: tc.term, Origin: uint32(tc.replicaID)}
 		for _, tr := range tc.toLocals {
 			tr.Send(dec)
 		}
@@ -859,7 +1309,8 @@ func (tc *TORController) abortInstall(p rules.Pattern) {
 	delete(tc.pendingInstall, st.flowXID)
 	delete(tc.pendingBarrier, st.barXID)
 	delete(tc.installing, p)
-	tc.toSwitch.Send(&openflow.FlowMod{Command: openflow.FlowDelete, Pattern: p})
+	tc.toSwitch.Send(&openflow.FlowMod{Command: openflow.FlowDelete, Pattern: p,
+		Term: tc.term, Origin: uint32(tc.replicaID)})
 }
 
 // ---- remove path ----
@@ -950,7 +1401,8 @@ func (tc *TORController) tryRemovals() {
 // confirmation re-arms the removal after a timeout.
 func (tc *TORController) sendDelete(p rules.Pattern, st *removeState) {
 	st.deleteSent = true
-	tc.toSwitch.Send(&openflow.FlowMod{Command: openflow.FlowDelete, Pattern: p})
+	tc.toSwitch.Send(&openflow.FlowMod{Command: openflow.FlowDelete, Pattern: p,
+		Term: tc.term, Origin: uint32(tc.replicaID)})
 	bx := tc.toSwitch.Send(&openflow.BarrierRequest{})
 	tc.pendingBarrier[bx] = func() {
 		if tc.removing[p] == st {
@@ -1126,7 +1578,7 @@ func (tc *TORController) hwRates() []openflow.VMRate {
 // migration step of §4.1.2 ("any offloaded flows must be returned back to
 // the VM's hypervisor before the migration can occur").
 func (tc *TORController) demoteVM(tenant packet.TenantID, vmIP packet.IP) {
-	if tc.crashed {
+	if tc.crashed || tc.paused || !tc.isLeader {
 		return
 	}
 	touches := func(p rules.Pattern) bool {
@@ -1183,7 +1635,8 @@ func (tc *TORController) demoteVM(tenant packet.TenantID, vmIP packet.IP) {
 		tc.nicDamper.ForceState(p, false, now)
 	}
 	if len(actions) > 0 {
-		dec := &openflow.OffloadDecision{Actions: actions}
+		dec := &openflow.OffloadDecision{Actions: actions,
+			Term: tc.term, Origin: uint32(tc.replicaID)}
 		for _, tr := range tc.toLocals {
 			tr.Send(dec)
 		}
@@ -1205,6 +1658,16 @@ func (tc *TORController) LatestReports() []openflow.DemandReport {
 	}
 	return out
 }
+
+// Term returns the replica's current leadership epoch (0 with HA off).
+func (tc *TORController) Term() uint32 { return tc.term }
+
+// IsLeader reports whether this replica is currently acting as leader
+// (believes it holds the leadership and is neither crashed nor paused).
+func (tc *TORController) IsLeader() bool { return tc.isLeader && !tc.crashed && !tc.paused }
+
+// ReplicaID returns this replica's index within its rack's group.
+func (tc *TORController) ReplicaID() int { return tc.replicaID }
 
 // offloadedList returns current confirmed hardware patterns, sorted.
 func (tc *TORController) offloadedList() []rules.Pattern {

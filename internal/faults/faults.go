@@ -78,6 +78,21 @@ const (
 	// (default 0.5) at At — partial table corruption the controller must
 	// detect and repair by reasserting desired state.
 	NICCorrupt
+	// PartitionNode severs every registered control channel touching a
+	// node — both directions — for Duration (0 = permanently): the node
+	// is isolated from switch, locals and replica peers but keeps
+	// running. The HA experiments' symmetric network partition.
+	PartitionNode
+	// PartitionAsym severs only the node's outbound channel directions:
+	// the node still hears the world but nothing it says gets out — the
+	// asymmetric partition that exercises epoch fencing (a mute
+	// ex-leader resumes sending with a stale term after the heal).
+	PartitionAsym
+	// ControllerPause freezes a pausable controller at At and resumes it
+	// after Duration (0 = it stays frozen). Distinct from
+	// ControllerCrash: state survives the freeze, but leadership does
+	// not — a resumed process must rejoin as a follower.
+	ControllerPause
 )
 
 func (k Kind) String() string {
@@ -108,6 +123,12 @@ func (k Kind) String() string {
 		return "nicreset"
 	case NICCorrupt:
 		return "niccorrupt"
+	case PartitionNode:
+		return "partition"
+	case PartitionAsym:
+		return "apartition"
+	case ControllerPause:
+		return "pause"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -173,6 +194,24 @@ type Controller interface {
 	Restart()
 }
 
+// Pausable is the fault surface of a freezable control process
+// (core.TORController implements it): Pause stops the process without
+// losing its state — timers stop firing and in-flight messages are lost,
+// as for a live-migrated or GC-stalled VM — and Resume thaws it as a
+// follower.
+type Pausable interface {
+	Pause()
+	Resume()
+}
+
+// partition is one node's registered channel directions, split by
+// orientation so asymmetric partitions can sever only what the node says
+// (outbound) while it still hears (inbound).
+type partition struct {
+	inbound  []Channel
+	outbound []Channel
+}
+
 // Stormer is the fault surface of a miss-storm source: something that can
 // generate fresh-flow slow-path misses at a controlled rate (the overload
 // experiment's storm driver implements it). SetStorm(0) stops the storm.
@@ -204,13 +243,15 @@ type Injector struct {
 	eng  *sim.Engine
 	seed int64
 
-	links    map[string]Link
-	chans    map[string][]Channel
-	tables   map[string]HardwareTable
-	ctrls    map[string]Controller
-	stormers map[string]Stormer
-	stats    map[string]StatsTap
-	nics     map[string]NICTable
+	links      map[string]Link
+	chans      map[string][]Channel
+	tables     map[string]HardwareTable
+	ctrls      map[string]Controller
+	stormers   map[string]Stormer
+	stats      map[string]StatsTap
+	nics       map[string]NICTable
+	partitions map[string]partition
+	pausables  map[string]Pausable
 
 	log []string
 	// Applied counts fault transitions executed.
@@ -222,15 +263,17 @@ type Injector struct {
 // fault randomness is isolated from model randomness).
 func NewInjector(eng *sim.Engine, seed int64) *Injector {
 	return &Injector{
-		eng:      eng,
-		seed:     seed,
-		links:    make(map[string]Link),
-		chans:    make(map[string][]Channel),
-		tables:   make(map[string]HardwareTable),
-		ctrls:    make(map[string]Controller),
-		stormers: make(map[string]Stormer),
-		stats:    make(map[string]StatsTap),
-		nics:     make(map[string]NICTable),
+		eng:        eng,
+		seed:       seed,
+		links:      make(map[string]Link),
+		chans:      make(map[string][]Channel),
+		tables:     make(map[string]HardwareTable),
+		ctrls:      make(map[string]Controller),
+		stormers:   make(map[string]Stormer),
+		stats:      make(map[string]StatsTap),
+		nics:       make(map[string]NICTable),
+		partitions: make(map[string]partition),
+		pausables:  make(map[string]Pausable),
 	}
 }
 
@@ -261,6 +304,23 @@ func (in *Injector) RegisterNIC(name string, n NICTable) {
 	in.tables[name] = n
 }
 
+// RegisterPartition names a partitionable node by the full set of its
+// control-channel directions: inbound carries what the node hears,
+// outbound what it says. PartitionNode severs both, PartitionAsym only
+// outbound.
+func (in *Injector) RegisterPartition(name string, inbound, outbound []Channel) {
+	in.partitions[name] = partition{inbound: inbound, outbound: outbound}
+}
+
+// RegisterPausable names a freezable controller target.
+func (in *Injector) RegisterPausable(name string, p Pausable) { in.pausables[name] = p }
+
+// PartitionTargets lists registered partitionable nodes, sorted.
+func (in *Injector) PartitionTargets() []string { return sortedNames(in.partitions) }
+
+// PausableTargets lists registered pausable controllers, sorted.
+func (in *Injector) PausableTargets() []string { return sortedNames(in.pausables) }
+
 // NICTargets lists registered SmartNIC targets, sorted.
 func (in *Injector) NICTargets() []string {
 	var out []string
@@ -286,8 +346,14 @@ func (in *Injector) ExtraTargets() (stormers, stats []string) {
 	return
 }
 
-// Targets lists registered target names by category, sorted — handy for
-// CLI help and for random plan generation.
+// Targets lists registered target names for the four original
+// categories, sorted — handy for CLI help and for random plan
+// generation. It deliberately covers only links, channels, tables and
+// controllers; the categories added since live in their own accessors so
+// existing callers (and seeded random plans) are unchanged: SmartNIC
+// tables in NICTargets, miss-storm sources and stats taps in
+// ExtraTargets, and partitionable nodes / pausable controllers in
+// PartitionTargets and PausableTargets.
 func (in *Injector) Targets() (links, channels, tables, controllers []string) {
 	for n := range in.links {
 		links = append(links, n)
@@ -333,38 +399,69 @@ func (in *Injector) Apply(p Plan) error {
 	return nil
 }
 
+// sortedNames returns a map's keys in sorted order — the "valid targets"
+// list validation errors carry.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unknownTarget builds the validation error for a bad target name,
+// listing the targets actually registered for the kind so a typo in a
+// plan spec is diagnosable without reading the rig's wiring code.
+func unknownTarget[V any](category, target string, m map[string]V) error {
+	valid := sortedNames(m)
+	if len(valid) == 0 {
+		return fmt.Errorf("unknown %s %q (no %ss registered)", category, target, category)
+	}
+	return fmt.Errorf("unknown %s %q (registered %ss: %s)",
+		category, target, category, strings.Join(valid, ", "))
+}
+
 func (in *Injector) validate(ev Event) error {
 	switch ev.Kind {
 	case LinkDown, LinkFlap, PacketLoss:
 		if _, ok := in.links[ev.Target]; !ok {
-			return fmt.Errorf("unknown link %q", ev.Target)
+			return unknownTarget("link", ev.Target, in.links)
 		}
 	case ChannelDown, ChannelLoss, ChannelDelay:
 		if _, ok := in.chans[ev.Target]; !ok {
-			return fmt.Errorf("unknown channel %q", ev.Target)
+			return unknownTarget("channel", ev.Target, in.chans)
 		}
 	case TCAMReject:
 		if _, ok := in.tables[ev.Target]; !ok {
-			return fmt.Errorf("unknown table %q", ev.Target)
+			return unknownTarget("table", ev.Target, in.tables)
 		}
 	case ControllerCrash:
 		if _, ok := in.ctrls[ev.Target]; !ok {
-			return fmt.Errorf("unknown controller %q", ev.Target)
+			return unknownTarget("controller", ev.Target, in.ctrls)
 		}
 	case MissStorm:
 		if _, ok := in.stormers[ev.Target]; !ok {
-			return fmt.Errorf("unknown stormer %q", ev.Target)
+			return unknownTarget("stormer", ev.Target, in.stormers)
 		}
 		if ev.Rate < 0 {
 			return fmt.Errorf("negative storm rate %v", ev.Rate)
 		}
 	case StatsLoss, StatsDelay:
 		if _, ok := in.stats[ev.Target]; !ok {
-			return fmt.Errorf("unknown stats tap %q", ev.Target)
+			return unknownTarget("stats tap", ev.Target, in.stats)
 		}
 	case NICReset, NICCorrupt:
 		if _, ok := in.nics[ev.Target]; !ok {
-			return fmt.Errorf("unknown nic %q", ev.Target)
+			return unknownTarget("nic", ev.Target, in.nics)
+		}
+	case PartitionNode, PartitionAsym:
+		if _, ok := in.partitions[ev.Target]; !ok {
+			return unknownTarget("partition node", ev.Target, in.partitions)
+		}
+	case ControllerPause:
+		if _, ok := in.pausables[ev.Target]; !ok {
+			return unknownTarget("pausable controller", ev.Target, in.pausables)
 		}
 	default:
 		return fmt.Errorf("unknown kind %d", ev.Kind)
@@ -589,6 +686,51 @@ func (in *Injector) schedule(idx int, ev Event) {
 			lost := n.CorruptRules(prob, rng)
 			in.logf("nic %s corrupted (%d rules lost, p=%.3f)", ev.Target, lost, prob)
 		})
+	case PartitionNode:
+		pt := in.partitions[ev.Target]
+		all := append(append([]Channel(nil), pt.inbound...), pt.outbound...)
+		in.eng.At(ev.At, func() {
+			for _, d := range all {
+				d.SetDown(true)
+			}
+			in.logf("partition %s isolated", ev.Target)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				for _, d := range all {
+					d.SetDown(false)
+				}
+				in.logf("partition %s healed", ev.Target)
+			})
+		}
+	case PartitionAsym:
+		pt := in.partitions[ev.Target]
+		in.eng.At(ev.At, func() {
+			for _, d := range pt.outbound {
+				d.SetDown(true)
+			}
+			in.logf("partition %s outbound severed", ev.Target)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				for _, d := range pt.outbound {
+					d.SetDown(false)
+				}
+				in.logf("partition %s healed", ev.Target)
+			})
+		}
+	case ControllerPause:
+		p := in.pausables[ev.Target]
+		in.eng.At(ev.At, func() {
+			p.Pause()
+			in.logf("controller %s paused", ev.Target)
+		})
+		if ev.Duration > 0 {
+			in.eng.At(ev.At+ev.Duration, func() {
+				p.Resume()
+				in.logf("controller %s resumed", ev.Target)
+			})
+		}
 	}
 }
 
@@ -618,8 +760,10 @@ func LastFaultClear(p Plan) time.Duration {
 //	kind:target@at+dur[,p=0.3][,period=5ms][,delay=1ms][,seed=7]
 //
 // e.g. "linkflap:downlink0@100ms+200ms,period=20ms;
-// tcamreject:tor0@50ms+300ms;crash:torctl0@400ms+150ms". Durations use
-// Go syntax; "+dur" may be omitted for permanent faults.
+// tcamreject:tor0@50ms+300ms;crash:torctl0@400ms+150ms;
+// partition:torctl0@1s+500ms;apartition:torctl0.1@2s+300ms;
+// pause:torctl0@3s+250ms". Durations use Go syntax; "+dur" may be
+// omitted for permanent faults.
 func ParsePlan(spec string) (Plan, error) {
 	var plan Plan
 	for _, clause := range strings.Split(spec, ";") {
@@ -673,6 +817,12 @@ func parseEvent(clause string) (Event, error) {
 		ev.Kind = NICReset
 	case "niccorrupt":
 		ev.Kind = NICCorrupt
+	case "partition":
+		ev.Kind = PartitionNode
+	case "apartition":
+		ev.Kind = PartitionAsym
+	case "pause":
+		ev.Kind = ControllerPause
 	default:
 		return ev, fmt.Errorf("unknown kind %q", kindStr)
 	}
@@ -756,6 +906,11 @@ type TargetSet struct {
 	// when non-empty, like Stormers and StatsTaps: plans drawn without
 	// NICs stay bit-identical to earlier versions for the same seed.
 	NICs []string
+	// Partitions (node-level symmetric/asymmetric partitions) and
+	// Pausables (controller freeze/resume) widen the lottery only when
+	// non-empty, preserving the same seed-stability contract.
+	Partitions []string
+	Pausables  []string
 }
 
 // RandomPlan draws a randomized but deterministic plan from seed: a
@@ -788,11 +943,21 @@ func RandomPlan(seed int64, horizon time.Duration, ts TargetSet) Plan {
 	if len(ts.StatsTaps) > 0 {
 		kinds++
 	}
-	// The NIC slot is always the top lottery index so the existing case
-	// numbering (and thus existing seeded plans) is untouched.
-	nicCase := -1
+	// Later-era slots always take the top lottery indices, in the order
+	// they were introduced (NIC, then partitions, then pausables), so
+	// the existing case numbering (and thus existing seeded plans) is
+	// untouched when the new target lists are empty.
+	nicCase, partitionCase, pauseCase := -1, -1, -1
 	if len(ts.NICs) > 0 {
 		nicCase = kinds
+		kinds++
+	}
+	if len(ts.Partitions) > 0 {
+		partitionCase = kinds
+		kinds++
+	}
+	if len(ts.Pausables) > 0 {
+		pauseCase = kinds
 		kinds++
 	}
 	n := 3 + rng.Intn(4)
@@ -808,6 +973,24 @@ func RandomPlan(seed int64, horizon time.Duration, ts TargetSet) Plan {
 					ev.Seed = rng.Int63()
 				}
 				plan.Events = append(plan.Events, ev)
+			}
+			continue
+		}
+		if k == partitionCase {
+			if t, ok := pick(ts.Partitions); ok {
+				ev := Event{At: at, Kind: PartitionNode, Target: t, Duration: dur}
+				if rng.Intn(2) == 0 {
+					ev.Kind = PartitionAsym
+				}
+				plan.Events = append(plan.Events, ev)
+			}
+			continue
+		}
+		if k == pauseCase {
+			if t, ok := pick(ts.Pausables); ok {
+				plan.Events = append(plan.Events, Event{
+					At: at, Kind: ControllerPause, Target: t, Duration: dur,
+				})
 			}
 			continue
 		}

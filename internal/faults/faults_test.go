@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -375,5 +376,155 @@ func TestInjectorLogDeterministic(t *testing.T) {
 	}
 	if len(a) == 0 {
 		t.Fatal("empty log")
+	}
+}
+
+// ---- HA-era kinds: partitions and pauses ----
+
+type fakePausable struct {
+	eng    *sim.Engine
+	events []string
+}
+
+func (f *fakePausable) Pause()  { f.events = append(f.events, fmt.Sprintf("%v pause", f.eng.Now())) }
+func (f *fakePausable) Resume() { f.events = append(f.events, fmt.Sprintf("%v resume", f.eng.Now())) }
+
+func TestParsePlanAllKinds(t *testing.T) {
+	// Every kind keyword must round-trip through the DSL into the exact
+	// Event it denotes — including the HA-era partition/apartition/pause
+	// clauses.
+	spec := "linkdown:up0@1ms+2ms; linkflap:up0@3ms+4ms,period=1ms; loss:up0@5ms+6ms,p=0.1,seed=3;" +
+		"ctldown:ctl0@7ms+8ms; ctlloss:ctl0@9ms+10ms,p=0.2; ctldelay:ctl0@11ms,delay=1ms;" +
+		"tcamreject:tcam0@13ms+14ms,p=0.3; crash:proc0@15ms+16ms; storm:vm0@17ms+18ms,rate=5000;" +
+		"statsloss:me0@19ms+20ms,p=0.4; statsdelay:me0@21ms+22ms,delay=2ms;" +
+		"nicreset:nic0@23ms; niccorrupt:nic0@25ms,p=0.5,seed=9;" +
+		"partition:tor1@27ms+28ms; apartition:tor2@29ms+30ms; pause:tor0@31ms+32ms"
+	plan, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	want := []Event{
+		{At: ms(1), Kind: LinkDown, Target: "up0", Duration: ms(2)},
+		{At: ms(3), Kind: LinkFlap, Target: "up0", Duration: ms(4), Period: ms(1)},
+		{At: ms(5), Kind: PacketLoss, Target: "up0", Duration: ms(6), Prob: 0.1, Seed: 3},
+		{At: ms(7), Kind: ChannelDown, Target: "ctl0", Duration: ms(8)},
+		{At: ms(9), Kind: ChannelLoss, Target: "ctl0", Duration: ms(10), Prob: 0.2},
+		{At: ms(11), Kind: ChannelDelay, Target: "ctl0", Delay: ms(1)},
+		{At: ms(13), Kind: TCAMReject, Target: "tcam0", Duration: ms(14), Prob: 0.3},
+		{At: ms(15), Kind: ControllerCrash, Target: "proc0", Duration: ms(16)},
+		{At: ms(17), Kind: MissStorm, Target: "vm0", Duration: ms(18), Rate: 5000},
+		{At: ms(19), Kind: StatsLoss, Target: "me0", Duration: ms(20), Prob: 0.4},
+		{At: ms(21), Kind: StatsDelay, Target: "me0", Duration: ms(22), Delay: ms(2)},
+		{At: ms(23), Kind: NICReset, Target: "nic0"},
+		{At: ms(25), Kind: NICCorrupt, Target: "nic0", Prob: 0.5, Seed: 9},
+		{At: ms(27), Kind: PartitionNode, Target: "tor1", Duration: ms(28)},
+		{At: ms(29), Kind: PartitionAsym, Target: "tor2", Duration: ms(30)},
+		{At: ms(31), Kind: ControllerPause, Target: "tor0", Duration: ms(32)},
+	}
+	if !reflect.DeepEqual(plan.Events, want) {
+		t.Fatalf("ParsePlan = %+v, want %+v", plan.Events, want)
+	}
+}
+
+func TestPartitionAndPauseApply(t *testing.T) {
+	eng := sim.NewEngine(1)
+	inj := NewInjector(eng, 7)
+	in := &fakeChan{fakeLink: fakeLink{eng: eng}}
+	out := &fakeChan{fakeLink: fakeLink{eng: eng}}
+	p := &fakePausable{eng: eng}
+	inj.RegisterPartition("node0", []Channel{in}, []Channel{out})
+	inj.RegisterPausable("proc0", p)
+	plan := Plan{Events: []Event{
+		{At: time.Millisecond, Kind: PartitionNode, Target: "node0", Duration: 2 * time.Millisecond},
+		{At: 5 * time.Millisecond, Kind: PartitionAsym, Target: "node0", Duration: 2 * time.Millisecond},
+		{At: 9 * time.Millisecond, Kind: ControllerPause, Target: "proc0", Duration: 3 * time.Millisecond},
+	}}
+	if err := inj.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Second)
+	// Symmetric partition severs and heals both directions; asymmetric
+	// touches only outbound.
+	wantOut := []string{"1ms down=true", "3ms down=false", "5ms down=true", "7ms down=false"}
+	wantIn := []string{"1ms down=true", "3ms down=false"}
+	if !reflect.DeepEqual(out.events, wantOut) {
+		t.Errorf("outbound events = %v, want %v", out.events, wantOut)
+	}
+	if !reflect.DeepEqual(in.events, wantIn) {
+		t.Errorf("inbound events = %v, want %v", in.events, wantIn)
+	}
+	wantP := []string{"9ms pause", "12ms resume"}
+	if !reflect.DeepEqual(p.events, wantP) {
+		t.Errorf("pausable events = %v, want %v", p.events, wantP)
+	}
+}
+
+func TestUnknownTargetErrorListsRegistered(t *testing.T) {
+	eng := sim.NewEngine(1)
+	inj := NewInjector(eng, 7)
+	inj.RegisterPartition("tor0", nil, nil)
+	inj.RegisterPartition("tor1", nil, nil)
+	inj.RegisterPausable("proc0", &fakePausable{eng: eng})
+	err := inj.Apply(Plan{Events: []Event{{Kind: PartitionNode, Target: "nope"}}})
+	if err == nil {
+		t.Fatal("unknown partition target accepted")
+	}
+	for _, name := range []string{"tor0", "tor1"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered target %q", err, name)
+		}
+	}
+	err = inj.Apply(Plan{Events: []Event{{Kind: ControllerPause, Target: "nope"}}})
+	if err == nil {
+		t.Fatal("unknown pausable target accepted")
+	}
+	if !strings.Contains(err.Error(), "proc0") {
+		t.Errorf("error %q does not list registered target proc0", err)
+	}
+}
+
+func TestRandomPlanExtendedTargets(t *testing.T) {
+	ts := TargetSet{
+		Links:       []string{"up0"},
+		Channels:    []string{"ctl0"},
+		Tables:      []string{"tcam0"},
+		Controllers: []string{"proc0"},
+		Partitions:  []string{"tor0", "tor1"},
+		Pausables:   []string{"tor0", "tor1", "tor2"},
+	}
+	horizon := 10 * time.Second
+	a := RandomPlan(42, horizon, ts)
+	b := RandomPlan(42, horizon, ts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans over extended targets")
+	}
+	// Across a spread of seeds the widened lottery must actually draw the
+	// new kinds — a plan generator that never emits partitions or pauses
+	// would silently un-test the HA paths.
+	seen := map[Kind]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		for _, ev := range RandomPlan(seed, horizon, ts).Events {
+			seen[ev.Kind] = true
+			if ev.Kind == PartitionNode || ev.Kind == PartitionAsym || ev.Kind == ControllerPause {
+				if ev.Duration <= 0 {
+					t.Errorf("seed %d: %v event without a healing window", seed, ev.Kind)
+				}
+			}
+		}
+	}
+	for _, k := range []Kind{PartitionNode, PartitionAsym, ControllerPause} {
+		if !seen[k] {
+			t.Errorf("64 seeds never drew a %v event", k)
+		}
+	}
+	// Widening the target set must not disturb plans drawn without the
+	// new categories: the HA lottery slots only open when populated.
+	base := TargetSet{Links: ts.Links, Channels: ts.Channels, Tables: ts.Tables, Controllers: ts.Controllers}
+	if !reflect.DeepEqual(RandomPlan(7, horizon, base), RandomPlan(7, horizon, TargetSet{
+		Links: ts.Links, Channels: ts.Channels, Tables: ts.Tables, Controllers: ts.Controllers,
+		Partitions: nil, Pausables: nil,
+	})) {
+		t.Error("empty extended categories changed the base plan")
 	}
 }

@@ -71,6 +71,12 @@ const (
 	// to prioritize offloading the dominant tenant's aggregates instead
 	// of waiting for the next demand-report cycle.
 	TypeOverloadHint
+	// TypeLeaderHeartbeat is the control-plane HA message a TOR DE
+	// leader broadcasts to its hot-standby replicas: "term T is alive
+	// and replica L leads it". Standbys reset their election timers on
+	// it; a replica holding a newer term answers a stale heartbeat with
+	// its own view so a partitioned ex-leader converges after healing.
+	TypeLeaderHeartbeat
 )
 
 func (t MsgType) String() string {
@@ -107,6 +113,8 @@ func (t MsgType) String() string {
 		return "TABLE_REPLY"
 	case TypeOverloadHint:
 		return "OVERLOAD_HINT"
+	case TypeLeaderHeartbeat:
+		return "LEADER_HEARTBEAT"
 	default:
 		return fmt.Sprintf("UNKNOWN(%d)", uint8(t))
 	}
@@ -183,6 +191,13 @@ type FlowMod struct {
 	Out      Path
 	// Cookie correlates the rule with the controller's bookkeeping.
 	Cookie uint64
+	// Term is the issuing leader's election term and Origin its replica
+	// id — the epoch fence: a receiver that has seen a newer term
+	// rejects the mod, so a partitioned ex-leader cannot fight its
+	// successor. Both travel in an optional tail section (omitted when
+	// zero) so pre-HA byte streams are unchanged.
+	Term   uint32
+	Origin uint32
 }
 
 // Type implements Message.
@@ -194,6 +209,7 @@ func (m *FlowMod) marshalBody(b *buffer) {
 	b.u16(m.Priority)
 	b.u64(m.Cookie)
 	marshalPattern(b, m.Pattern)
+	marshalTermTail(b, m.Term, m.Origin)
 }
 
 func (m *FlowMod) unmarshalBody(r *reader) error {
@@ -202,7 +218,27 @@ func (m *FlowMod) unmarshalBody(r *reader) error {
 	m.Priority = r.u16()
 	m.Cookie = r.u64()
 	m.Pattern = unmarshalPattern(r)
+	m.Term, m.Origin = unmarshalTermTail(r)
 	return r.err
+}
+
+// marshalTermTail appends the optional epoch-fence tail (term + origin
+// replica). Written only when non-zero so legacy single-controller runs
+// stay byte-identical on the wire.
+func marshalTermTail(b *buffer, term, origin uint32) {
+	if term == 0 && origin == 0 {
+		return
+	}
+	b.u32(term)
+	b.u32(origin)
+}
+
+// unmarshalTermTail consumes the optional epoch-fence tail if present.
+func unmarshalTermTail(r *reader) (term, origin uint32) {
+	if r.err != nil || r.remaining() == 0 {
+		return 0, 0
+	}
+	return r.u32(), r.u32()
 }
 
 // StatsRequest asks a data-plane element for its per-flow counters.
@@ -456,6 +492,11 @@ type OffloadDecision struct {
 	Interval uint32
 	Actions  []OffloadAction
 	HWRates  []VMRate
+	// Term/Origin epoch-fence the decision (see FlowMod): local
+	// controllers ignore decisions from a stale leader. Optional tail,
+	// omitted when zero.
+	Term   uint32
+	Origin uint32
 }
 
 // Type implements Message.
@@ -487,6 +528,7 @@ func (m *OffloadDecision) marshalBody(b *buffer) {
 		}
 		b.u8(flags)
 	}
+	marshalTermTail(b, m.Term, m.Origin)
 }
 
 func (m *OffloadDecision) unmarshalBody(r *reader) error {
@@ -509,10 +551,9 @@ func (m *OffloadDecision) unmarshalBody(r *reader) error {
 	if uint64(ns)*25 > uint64(r.remaining()) {
 		return fmt.Errorf("openflow: decision claims %d rates beyond body", ns)
 	}
-	if ns == 0 {
-		return r.err
+	if ns > 0 {
+		m.HWRates = make([]VMRate, ns)
 	}
-	m.HWRates = make([]VMRate, ns)
 	for i := range m.HWRates {
 		s := &m.HWRates[i]
 		s.Tenant = packet.TenantID(r.u32())
@@ -523,6 +564,7 @@ func (m *OffloadDecision) unmarshalBody(r *reader) error {
 		s.EgressMaxed = flags&1 != 0
 		s.IngressMaxed = flags&2 != 0
 	}
+	m.Term, m.Origin = unmarshalTermTail(r)
 	return r.err
 }
 
@@ -533,6 +575,10 @@ const (
 	// ErrCodeRejected: the hardware rejected the operation (transient or
 	// permanent fault).
 	ErrCodeRejected uint16 = 2
+	// ErrCodeStaleTerm: the request carried an election term older than
+	// the newest the element has seen — the sender is a fenced-out
+	// ex-leader and must step down.
+	ErrCodeStaleTerm uint16 = 3
 )
 
 // ErrorMsg reports a failed request; its xid echoes the failing request's.
@@ -554,6 +600,11 @@ func (m *ErrorMsg) unmarshalBody(r *reader) error {
 type RuleSync struct {
 	Seq      uint32
 	Patterns []rules.Pattern
+	// Term/Origin epoch-fence the sync; sequence numbers are scoped to
+	// a term (a new leader starts a fresh sequence space). Optional
+	// tail, omitted when zero.
+	Term   uint32
+	Origin uint32
 }
 
 // Type implements Message.
@@ -565,6 +616,7 @@ func (m *RuleSync) marshalBody(b *buffer) {
 	for _, p := range m.Patterns {
 		marshalPattern(b, p)
 	}
+	marshalTermTail(b, m.Term, m.Origin)
 }
 
 func (m *RuleSync) unmarshalBody(r *reader) error {
@@ -579,13 +631,17 @@ func (m *RuleSync) unmarshalBody(r *reader) error {
 	for i := range m.Patterns {
 		m.Patterns[i] = unmarshalPattern(r)
 	}
+	m.Term, m.Origin = unmarshalTermTail(r)
 	return r.err
 }
 
-// SyncAck confirms a RuleSync was applied by the given server.
+// SyncAck confirms a RuleSync was applied by the given server. Term
+// scopes the acknowledged sequence number: a leader ignores acks from a
+// different term's sequence space.
 type SyncAck struct {
 	ServerID uint32
 	Seq      uint32
+	Term     uint32
 }
 
 // Type implements Message.
@@ -594,21 +650,39 @@ func (*SyncAck) Type() MsgType { return TypeSyncAck }
 func (m *SyncAck) marshalBody(b *buffer) {
 	b.u32(m.ServerID)
 	b.u32(m.Seq)
+	if m.Term != 0 {
+		b.u32(m.Term)
+	}
 }
 
 func (m *SyncAck) unmarshalBody(r *reader) error {
 	m.ServerID = r.u32()
 	m.Seq = r.u32()
+	if r.err == nil && r.remaining() > 0 {
+		m.Term = r.u32()
+	}
 	return r.err
 }
 
-// TableRequest asks a switch agent for its installed rules.
-type TableRequest struct{}
+// TableRequest asks a switch agent for its installed rules. When the
+// requester is an HA leader it carries the leader's term in the optional
+// tail — the agent treats a current-term table walk as proof of
+// control-plane liveness and refreshes every rule lease (§lease
+// lifecycle: refresh rides the reconcile cadence).
+type TableRequest struct {
+	Term   uint32
+	Origin uint32
+}
 
 // Type implements Message.
-func (*TableRequest) Type() MsgType               { return TypeTableRequest }
-func (*TableRequest) marshalBody(*buffer)         {}
-func (*TableRequest) unmarshalBody(*reader) error { return nil }
+func (*TableRequest) Type() MsgType { return TypeTableRequest }
+func (m *TableRequest) marshalBody(b *buffer) {
+	marshalTermTail(b, m.Term, m.Origin)
+}
+func (m *TableRequest) unmarshalBody(r *reader) error {
+	m.Term, m.Origin = unmarshalTermTail(r)
+	return r.err
+}
 
 // TableRule is one installed hardware rule in a TableReply.
 type TableRule struct {
@@ -695,6 +769,29 @@ func (m *OverloadHint) unmarshalBody(r *reader) error {
 	m.Tenant = packet.TenantID(r.u32())
 	m.Overloaded = r.u8() != 0
 	m.MissPPS = r.f64()
+	return r.err
+}
+
+// LeaderHeartbeat asserts "replica LeaderID leads term Term" between TOR
+// DE replicas. The leader broadcasts it on the heartbeat cadence; a
+// replica holding a newer term gossips its own view back in the same
+// message shape so stale leaders converge after a partition heals.
+type LeaderHeartbeat struct {
+	Term     uint32
+	LeaderID uint32
+}
+
+// Type implements Message.
+func (*LeaderHeartbeat) Type() MsgType { return TypeLeaderHeartbeat }
+
+func (m *LeaderHeartbeat) marshalBody(b *buffer) {
+	b.u32(m.Term)
+	b.u32(m.LeaderID)
+}
+
+func (m *LeaderHeartbeat) unmarshalBody(r *reader) error {
+	m.Term = r.u32()
+	m.LeaderID = r.u32()
 	return r.err
 }
 
@@ -930,6 +1027,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &TableReply{}, nil
 	case TypeOverloadHint:
 		return &OverloadHint{}, nil
+	case TypeLeaderHeartbeat:
+		return &LeaderHeartbeat{}, nil
 	default:
 		return nil, fmt.Errorf("openflow: unknown message type %d", t)
 	}

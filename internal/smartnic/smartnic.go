@@ -146,6 +146,16 @@ type NIC struct {
 	installFault func() error
 	counters     metrics.NICCounters
 	rec          *telemetry.Scoped
+
+	// leaseTTL, when non-zero, makes every installed rule a lease the
+	// local controller must refresh (any current-term leader contact
+	// refreshes them all) or the sweeper expires the rule back to the
+	// vswitch software path — the NIC-tier half of the control-plane HA
+	// fail-safe.
+	leaseTTL      time.Duration
+	leases        map[rules.Pattern]time.Duration
+	leaseSweep    *sim.Ticker
+	leaseExpiries uint64
 }
 
 // New builds a NIC from cfg. A zero-capacity config still returns a valid
@@ -219,6 +229,9 @@ func (n *NIC) Install(p rules.Pattern, queue int) error {
 		return err
 	}
 	n.byPattern[p] = e
+	if n.leases != nil {
+		n.leases[p] = time.Duration(n.eng.Now()) + n.leaseTTL
+	}
 	if !p.AnyTenant {
 		n.perTenant[p.Tenant]++
 	}
@@ -248,6 +261,9 @@ func (n *NIC) Remove(p rules.Pattern) int {
 func (n *NIC) dropRule(p rules.Pattern) int {
 	removed := n.table.Remove(p)
 	delete(n.byPattern, p)
+	if n.leases != nil {
+		delete(n.leases, p)
+	}
 	if !p.AnyTenant {
 		if n.perTenant[p.Tenant]--; n.perTenant[p.Tenant] <= 0 {
 			delete(n.perTenant, p.Tenant)
@@ -394,6 +410,62 @@ func (n *NIC) Counters() metrics.NICCounters {
 // consult f (nil clears).
 func (n *NIC) SetInstallFault(f func() error) { n.installFault = f }
 
+// SetLeaseTTL enables (ttl > 0) or disables (ttl = 0) lease-based
+// fail-safe expiry for NIC rules, mirroring tor.TOR.SetLeaseTTL: installs
+// stamp now+ttl, RefreshAllLeases extends everything, and a ttl/4 sweeper
+// expires unrefreshed rules (covered flows fall back to the vswitch —
+// TryEgress simply misses).
+func (n *NIC) SetLeaseTTL(ttl time.Duration) {
+	n.leaseTTL = ttl
+	if n.leaseSweep != nil {
+		n.leaseSweep.Stop()
+		n.leaseSweep = nil
+	}
+	if ttl <= 0 {
+		n.leases = nil
+		return
+	}
+	n.leases = make(map[rules.Pattern]time.Duration)
+	n.leaseSweep = n.eng.Every(ttl/4, n.sweepLeases)
+}
+
+// RefreshAllLeases extends every rule's lease; the local controller calls
+// it on each message from the current-term leader.
+func (n *NIC) RefreshAllLeases() {
+	deadline := time.Duration(n.eng.Now()) + n.leaseTTL
+	for p := range n.leases {
+		n.leases[p] = deadline
+	}
+}
+
+// LeaseExpiries returns how many rules the sweeper expired.
+func (n *NIC) LeaseExpiries() uint64 { return n.leaseExpiries }
+
+// LeaseCount returns the number of live leases (equals Len() whenever
+// leases are enabled).
+func (n *NIC) LeaseCount() int { return len(n.leases) }
+
+func (n *NIC) sweepLeases() {
+	now := time.Duration(n.eng.Now())
+	var dead []rules.Pattern
+	for p, deadline := range n.leases {
+		if now >= deadline {
+			dead = append(dead, p)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].String() < dead[j].String() })
+	for _, p := range dead {
+		n.dropRule(p)
+		n.leaseExpiries++
+		if n.rec != nil {
+			n.rec.EmitPattern(telemetry.KindLeaseExpire, p.Tenant, p, "nic", 1, float64(n.table.Len()))
+		}
+	}
+}
+
 // ResetTable models a firmware reset: the whole rule table is lost. The
 // controller's per-interval reassert repairs it; until then every covered
 // flow degrades to the software path. Returns rules lost.
@@ -403,6 +475,9 @@ func (n *NIC) ResetTable() int {
 	n.byPattern = make(map[rules.Pattern]*rules.TCAMEntry)
 	n.perTenant = make(map[packet.TenantID]int)
 	n.flows = rules.NewExactTable[struct{}]()
+	if n.leases != nil {
+		n.leases = make(map[rules.Pattern]time.Duration)
+	}
 	if n.rec != nil {
 		n.rec.Record(telemetry.Event{Kind: telemetry.KindNICReset, Cause: "reset", V1: float64(lost)})
 	}

@@ -122,6 +122,17 @@ const (
 	// between tiers (Cause = "<from>-><to>", V1 = score, V2 = target
 	// server for NIC placements).
 	KindPlacementChange
+	// KindElection: a TOR DE replica's leadership changed (Cause =
+	// elect/step-down/resume-follower, V1 = term, V2 = replica id).
+	KindElection
+	// KindFenceReject: an epoch-fenced element refused a message from a
+	// stale term (Cause = flowmod/decision/sync, V1 = stale term,
+	// V2 = newest term seen).
+	KindFenceReject
+	// KindLeaseExpire: an unrefreshed rule lease lapsed and the rule
+	// fell back to the software path (Cause = tcam/nic/placer/hw-stale,
+	// V1 = rules expired).
+	KindLeaseExpire
 
 	numKinds
 )
@@ -159,6 +170,9 @@ var kindNames = [numKinds]string{
 	KindNICReject:       "nic-reject",
 	KindNICReset:        "nic-reset",
 	KindPlacementChange: "placement-change",
+	KindElection:        "election",
+	KindFenceReject:     "fence-reject",
+	KindLeaseExpire:     "lease-expire",
 }
 
 // String returns the stable wire name of the kind (used in exports and

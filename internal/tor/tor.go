@@ -10,6 +10,7 @@ package tor
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/fabric"
@@ -85,6 +86,16 @@ type TOR struct {
 	// a misbehaving or exhausted TCAM controller).
 	installFault   func() error
 	installRejects uint64
+
+	// leaseTTL, when non-zero, makes every installed ACL a lease: the
+	// controller must refresh it (idempotent re-install or a
+	// current-term table walk) within TTL or the sweeper expires the
+	// rule back to the software path — a dead control plane degrades to
+	// pre-FasTrak behavior instead of freezing stale express lanes.
+	leaseTTL      time.Duration
+	leases        map[rules.Pattern]time.Duration
+	leaseSweep    *sim.Ticker
+	leaseExpiries uint64
 
 	// rec is the flight-recorder scope; nil when telemetry is disabled.
 	rec *telemetry.Scoped
@@ -191,6 +202,77 @@ func (t *TOR) RemoveVRFTunnel(tenant packet.TenantID, vmIP packet.IP) {
 // transient and permanent hardware rule-install rejections.
 func (t *TOR) SetInstallFault(f func() error) { t.installFault = f }
 
+// SetLeaseTTL enables (ttl > 0) or disables (ttl = 0) lease-based
+// fail-safe expiry for ACL rules. With leases on, every install stamps a
+// deadline now+ttl and a sweeper running at ttl/4 granularity expires
+// unrefreshed rules; expired traffic falls back to the always-correct
+// vswitch software path.
+func (t *TOR) SetLeaseTTL(ttl time.Duration) {
+	t.leaseTTL = ttl
+	if t.leaseSweep != nil {
+		t.leaseSweep.Stop()
+		t.leaseSweep = nil
+	}
+	if ttl <= 0 {
+		t.leases = nil
+		return
+	}
+	t.leases = make(map[rules.Pattern]time.Duration)
+	t.leaseSweep = t.eng.Every(ttl/4, t.sweepLeases)
+}
+
+// RefreshLease extends one rule's lease; a no-op for unknown patterns or
+// when leases are disabled.
+func (t *TOR) RefreshLease(p rules.Pattern) {
+	if t.leases != nil {
+		if _, ok := t.leases[p]; ok {
+			t.leases[p] = time.Duration(t.eng.Now()) + t.leaseTTL
+		}
+	}
+}
+
+// RefreshAllLeases extends every rule's lease — the switch agent calls
+// it on a current-term table walk, treating the reconcile round-trip as
+// proof the control plane is alive.
+func (t *TOR) RefreshAllLeases() {
+	deadline := time.Duration(t.eng.Now()) + t.leaseTTL
+	for p := range t.leases {
+		t.leases[p] = deadline
+	}
+}
+
+// LeaseExpiries returns how many rules the sweeper expired.
+func (t *TOR) LeaseExpiries() uint64 { return t.leaseExpiries }
+
+// LeaseCount returns the number of live leases (equals the installed
+// rule count whenever leases are enabled — the lease-conservation
+// invariant the failover experiment checks).
+func (t *TOR) LeaseCount() int { return len(t.leases) }
+
+// sweepLeases expires every rule whose lease deadline has passed, in
+// deterministic pattern order.
+func (t *TOR) sweepLeases() {
+	now := time.Duration(t.eng.Now())
+	var dead []rules.Pattern
+	for p, deadline := range t.leases {
+		if now >= deadline {
+			dead = append(dead, p)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].String() < dead[j].String() })
+	for _, p := range dead {
+		delete(t.leases, p)
+		n := t.tcam.Remove(p)
+		t.leaseExpiries += uint64(n)
+		if t.rec != nil {
+			t.rec.EmitPattern(telemetry.KindLeaseExpire, p.Tenant, p, "tcam", float64(n), float64(t.tcam.Len()))
+		}
+	}
+}
+
 // InstallRejects returns how many installs the fault hook rejected.
 func (t *TOR) InstallRejects() uint64 { return t.installRejects }
 
@@ -209,6 +291,9 @@ func (t *TOR) InstallACL(e *rules.TCAMEntry) error {
 		}
 	}
 	err := t.tcam.Insert(e)
+	if err == nil && t.leases != nil {
+		t.leases[e.Pattern] = time.Duration(t.eng.Now()) + t.leaseTTL
+	}
 	if t.rec != nil {
 		if err != nil {
 			t.rec.EmitPattern(telemetry.KindTCAMReject, e.Pattern.Tenant, e.Pattern, "full", float64(t.tcam.Len()), 0)
@@ -222,6 +307,9 @@ func (t *TOR) InstallACL(e *rules.TCAMEntry) error {
 // RemoveACL deletes rules with the exact pattern, freeing TCAM space.
 func (t *TOR) RemoveACL(p rules.Pattern) int {
 	n := t.tcam.Remove(p)
+	if t.leases != nil {
+		delete(t.leases, p)
+	}
 	if t.rec != nil && n > 0 {
 		t.rec.EmitPattern(telemetry.KindTCAMRemove, p.Tenant, p, "", float64(t.tcam.Len()), float64(n))
 	}
@@ -398,8 +486,12 @@ func (t *TOR) fromVF(p *packet.Packet) {
 		if m.Remote == t.Loopback {
 			// Destination VM homed under this same ToR: hairpin
 			// through GRE termination locally (tunnel source =
-			// destination).
-			t.terminateGRE(outer)
+			// destination). The packet was classified when it entered
+			// this switch; a single-pass pipeline does not re-run the
+			// ACL on a packet already sitting in its shaping queues,
+			// so the admission verdict rides along even if the rule is
+			// deleted before the queue drains.
+			t.terminateGREAdmitted(outer, entry)
 			return
 		}
 		t.route(outer, queue)
@@ -408,7 +500,13 @@ func (t *TOR) fromVF(p *packet.Packet) {
 
 // terminateGRE handles a GRE packet addressed to this ToR (§4.2.2): key →
 // VRF, decap, ACL, hardware ingress limit, VLAN tag, access port.
-func (t *TOR) terminateGRE(p *packet.Packet) {
+func (t *TOR) terminateGRE(p *packet.Packet) { t.terminateGREAdmitted(p, nil) }
+
+// terminateGREAdmitted is terminateGRE with an optional pre-resolved ACL
+// verdict: non-nil for the hairpin case, where this same switch already
+// classified the packet at VF admission; nil for GRE arriving off the
+// wire, which is classified here — at this switch's own admission point.
+func (t *TOR) terminateGREAdmitted(p *packet.Packet, admitted *rules.TCAMEntry) {
 	inner, tenant, err := tunnel.GREDecap(p)
 	if err != nil {
 		t.unrouted++
@@ -430,7 +528,10 @@ func (t *TOR) terminateGRE(p *packet.Packet) {
 		return
 	}
 	key := inner.Key()
-	entry := t.tcam.Lookup(key)
+	entry := admitted
+	if entry == nil {
+		entry = t.tcam.Lookup(key)
+	}
 	if entry == nil || entry.Action != rules.Allow {
 		t.aclDrops++
 		if t.rec != nil {

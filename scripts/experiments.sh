@@ -11,6 +11,8 @@
 #   results/migrate-trace.txt     Figure 12 gnuplot series + summary
 #   results/tiered-ladder.txt     three-tier placement ladder (software ->
 #                                 SmartNIC -> TCAM graduation/demotion)
+#   results/failover.txt          control-plane HA failover (elections,
+#                                 fencing, leases, reconvergence)
 #   results/fig12-trace.json      Figure 12 flight-recorder trace (Perfetto)
 #   results/fastrak-trace.json    fastrak-sim -migrate run trace (Perfetto)
 #   results/fastrak-metrics.prom  same run, Prometheus text exposition
@@ -37,6 +39,9 @@ go run ./cmd/migrate-trace -trace-out results/fig12-trace.json \
 
 echo "== tiered placement ladder (SmartNIC tier)"
 go run ./cmd/fastrak-sim -tiered -seed 5 -duration 8s >results/tiered-ladder.txt
+
+echo "== control-plane failover (HA replicas, fencing, leases)"
+go run ./cmd/fastrak-sim -failover -duration 8s >results/failover.txt
 
 echo "== fastrak-sim traced migration scenario"
 go run ./cmd/fastrak-sim -trace -migrate \

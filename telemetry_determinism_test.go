@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/host"
 	"repro/internal/packet"
 	"repro/internal/telemetry"
@@ -236,5 +237,128 @@ func TestTelemetryTraceIsCausal(t *testing.T) {
 			t.Errorf("causality violated: first %q (seq %d) not before first %q (seq %d)",
 				order[i], a, order[i+1], b)
 		}
+	}
+}
+
+// runTracedHAScenario is the control-plane HA variant: two TOR DE
+// replicas with rule leases, a severed election channel that
+// manufactures dueling leaders (the deposed one's installs are fenced),
+// then a full control-plane outage (leader crashed, standby paused) long
+// enough for placer and TCAM leases to lapse. It exercises the election,
+// fence-reject and lease-expire event kinds under the recorder.
+func runTracedHAScenario(t *testing.T, seed int64) (trace, prom, csv []byte) {
+	t.Helper()
+	d, err := NewDeployment(Options{Servers: 3, TCAMCapacity: 8, Seed: seed,
+		Controller: ControllerOptions{Epoch: 100 * time.Millisecond,
+			Replicas: 2, LeaseTTL: time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := d.EnableTelemetry(TelemetryOptions{SampleInterval: 50 * time.Millisecond})
+
+	type pair struct{ c, s *host.VM }
+	var pairs []pair
+	for i, spec := range []struct {
+		tenant uint32
+		cIP    string
+		sIP    string
+	}{
+		{7, "10.7.0.1", "10.7.0.2"},
+		{8, "10.8.0.1", "10.8.0.2"},
+	} {
+		c, err := d.AddVM(i%3, spec.tenant, spec.cIP, VMOptions{VCPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.AddVM((i+1)%3, spec.tenant, spec.sIP, VMOptions{VCPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.BindApp(9000, host.AppFunc(func(vm *host.VM, p *packet.Packet) {
+			vm.Send(p.IP.Src, 9000, p.TCP.SrcPort, 256, host.SendOptions{Seq: p.Meta.Seq}, nil)
+		}))
+		pairs = append(pairs, pair{c, s})
+	}
+	for i, p := range pairs {
+		p := p
+		period := time.Millisecond << uint(i)
+		d.Cluster.Eng.Every(period, func() {
+			p.c.Send(p.s.Key.IP, 40000, 9000, 128, host.SendOptions{}, nil)
+		})
+	}
+
+	inj := faults.NewInjector(d.Cluster.Eng, seed)
+	d.Cluster.RegisterFaults(inj)
+	d.Manager.RegisterFaults(inj)
+	plan := faults.Plan{Events: []faults.Event{
+		// Isolate the leader's election plane while it still reaches the
+		// switch: the standby claims the next term and the stale leader's
+		// installs bounce off the fence.
+		{At: 500 * time.Millisecond, Kind: faults.ChannelDown, Target: "elect0.0-1",
+			Duration: 800 * time.Millisecond},
+		// Full control-plane outage, longer than the lease TTL: placer
+		// rules expire at TTL/2 and TCAM rules at TTL.
+		{At: 1800 * time.Millisecond, Kind: faults.ControllerCrash, Target: "torctl0",
+			Duration: 1200 * time.Millisecond},
+		{At: 1800 * time.Millisecond, Kind: faults.ControllerPause, Target: "torctl0.1",
+			Duration: 1200 * time.Millisecond},
+	}}
+	if err := inj.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	d.Start()
+	d.Run(3400 * time.Millisecond)
+	d.Stop()
+
+	var tb, pb, cb bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&tb, tel.Recorder, tel.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WritePrometheus(&pb, tel.Registry); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteSeriesCSV(&cb, tel.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), pb.Bytes(), cb.Bytes()
+}
+
+// TestTelemetryHAExportsAreDeterministic extends the determinism guard to
+// the control-plane HA machinery: with elections, fencing and lease
+// expiry in the run, two same-seed runs must still hash identically, and
+// the trace must actually contain the HA event kinds (otherwise the
+// guard is vacuous).
+func TestTelemetryHAExportsAreDeterministic(t *testing.T) {
+	t1, p1, c1 := runTracedHAScenario(t, 42)
+	t2, p2, c2 := runTracedHAScenario(t, 42)
+	for _, x := range []struct {
+		name string
+		a, b []byte
+	}{{"trace", t1, t2}, {"prometheus", p1, p2}, {"csv", c1, c2}} {
+		ha, hb := sha256.Sum256(x.a), sha256.Sum256(x.b)
+		if ha != hb {
+			t.Errorf("HA %s export is not deterministic: %x != %x (lens %d, %d)",
+				x.name, ha[:8], hb[:8], len(x.a), len(x.b))
+		}
+	}
+	events, _, err := telemetry.ReadChromeTrace(bytes.NewReader(t1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, te := range events {
+		if te.Args != nil {
+			seen[te.Args.Kind] = true
+		}
+	}
+	for _, kind := range []string{"election", "fence-reject", "lease-expire"} {
+		if !seen[kind] {
+			t.Errorf("trace is missing %q events; the HA machinery is not being recorded", kind)
+		}
+	}
+	t3, _, _ := runTracedHAScenario(t, 43)
+	if bytes.Equal(t1, t3) {
+		t.Error("HA trace export is seed-independent; the recorder is not seeing the run")
 	}
 }
