@@ -29,6 +29,10 @@ type Result struct {
 	BytesPerOp  *int64  `json:"b_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "pps",
+	// "pps/core" from BenchmarkPipeline). encoding/json sorts map
+	// keys, so output stays deterministic.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Baseline is the whole document.
@@ -109,6 +113,13 @@ func parseLine(line string) (Result, bool) {
 			}
 		case "MB/s":
 			r.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		default:
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
 		}
 	}
 	return r, r.NsPerOp > 0

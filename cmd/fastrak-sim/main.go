@@ -71,6 +71,7 @@ func main() {
 	overload := flag.Bool("overload", false, "run the canned slow-path overload scenario instead of the rack workload")
 	tiered := flag.Bool("tiered", false, "run the canned three-tier placement-ladder scenario (experiments.RunTiered) instead of the rack workload")
 	failover := flag.Bool("failover", false, "run the canned control-plane failover scenario (experiments.RunFailover): hot-standby TOR controllers under partitions, crashes and pauses")
+	shards := flag.Int("shards", 0, "run the wall-clock throughput mode instead of the sim: drive the sharded batch data plane with this many shard workers (1 = inline deterministic configuration)")
 	replicas := flag.Int("replicas", 0, "TOR controller replicas per rack (>1 enables hot-standby HA with leader election and epoch fencing)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "hardware rule lease TTL (>0 enables lease-based fail-safe expiry back to the software path)")
 	trace := flag.Bool("trace", false, "enable the flight recorder and metric sampler")
@@ -110,6 +111,10 @@ func main() {
 		}()
 	}
 
+	if *shards > 0 {
+		runThroughput(*shards, *duration, *seed)
+		return
+	}
 	if *overload {
 		runOverload(*seed, *faultSeed, *duration)
 		return

@@ -1,0 +1,164 @@
+package rules
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/packet"
+)
+
+// Epoch publication: the sharded data plane's readers (shard workers)
+// never take a lock on the hot path. Instead the control plane builds an
+// immutable snapshot of every table a shard consults — compiled VM
+// classifiers, the tunnel map, NIC placements — and publishes it with an
+// RCU-style atomic pointer swap. Shards load the pointer once per packet
+// vector; a sequence-number change tells a shard to flush its private
+// caches (exact + megaflow), which is the entire invalidation protocol:
+// per-shard flush on epoch change, never a cross-shard lock.
+
+// Epoch is one published generation of an immutable table snapshot.
+type Epoch[T any] struct {
+	// Seq increases by one per publication. Readers compare it against
+	// the last sequence they acted on to detect staleness.
+	Seq uint64
+	// Tables is the immutable snapshot. Readers must not mutate it.
+	Tables T
+}
+
+// EpochPublisher owns the current epoch of an immutable snapshot type.
+// Publish is serialized internally; Load is a single atomic pointer read,
+// safe from any goroutine, wait-free, and allocation-free.
+//
+// The zero value is ready to use, but Load returns nil until the first
+// Publish — callers seed an initial epoch at construction time.
+type EpochPublisher[T any] struct {
+	mu  sync.Mutex
+	seq uint64
+	cur atomic.Pointer[Epoch[T]]
+}
+
+// Load returns the current epoch (nil before the first Publish).
+func (p *EpochPublisher[T]) Load() *Epoch[T] { return p.cur.Load() }
+
+// Publish installs tables as the next epoch and returns it. The snapshot
+// must be immutable from this point on: readers may hold it indefinitely.
+func (p *EpochPublisher[T]) Publish(tables T) *Epoch[T] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	e := &Epoch[T]{Seq: p.seq, Tables: tables}
+	p.cur.Store(e)
+	return e
+}
+
+// Update rebuilds the snapshot from the current one under the publisher's
+// lock and publishes the result — the copy-on-write idiom for mutations
+// that derive the next epoch from the last (rule add/remove, tunnel
+// churn). build receives the current snapshot (the zero T before the
+// first publication) and must return a fresh value sharing no mutable
+// state with it.
+func (p *EpochPublisher[T]) Update(build func(cur T) T) *Epoch[T] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var cur T
+	if e := p.cur.Load(); e != nil {
+		cur = e.Tables
+	}
+	p.seq++
+	e := &Epoch[T]{Seq: p.seq, Tables: build(cur)}
+	p.cur.Store(e)
+	return e
+}
+
+// CompiledVM is an immutable compiled form of a VM's rule state, built at
+// epoch-publication time so concurrent shard readers never touch the
+// lazily built (mutate-on-read) indexes inside VMRules. Lookups are pure
+// reads over private TupleSpaces.
+type CompiledVM struct {
+	Tenant packet.TenantID
+	VMIP   packet.IP
+
+	sec     *TupleSpace[Action]
+	hasSec  bool
+	qos     *TupleSpace[int]
+	qosMask FieldMask
+}
+
+// Compile snapshots the VM's current rules into an immutable classifier.
+// The caller must hold whatever serialization protects mutations of v
+// (the control plane's publish path); the returned value shares nothing
+// mutable with v.
+func (v *VMRules) Compile() *CompiledVM {
+	c := &CompiledVM{Tenant: v.Tenant, VMIP: v.VMIP, hasSec: len(v.Security) > 0}
+	c.sec = NewTupleSpace[Action]()
+	for i := range v.Security {
+		r := &v.Security[i]
+		// Same reachability rule as the lazy index: priorities below the
+		// linear scan's (-1, -1) sentinel can never win.
+		if r.Priority >= -1 {
+			c.sec.Insert(r.Pattern, r.Priority, r.Action)
+		}
+	}
+	c.qos = NewTupleSpacePriorityOnly[int]()
+	for i := range v.QoS {
+		r := &v.QoS[i]
+		c.qosMask = c.qosMask.Union(r.Pattern.Mask())
+		if r.Priority >= 0 {
+			c.qos.Insert(r.Pattern, r.Priority, r.Queue)
+		}
+	}
+	return c
+}
+
+// HasRules reports whether the VM carries any security rules — the
+// vswitch's "rule-bearing endpoint" test.
+func (c *CompiledVM) HasRules() bool { return c.hasSec }
+
+// EvaluateMask mirrors VMRules.EvaluateMask on the compiled snapshot.
+func (c *CompiledVM) EvaluateMask(k packet.FlowKey) (Action, FieldMask) {
+	a, ok, m := c.sec.LookupMask(k)
+	if !ok {
+		return Deny, m
+	}
+	return a, m
+}
+
+// QueueForMask mirrors VMRules.QueueForMask on the compiled snapshot.
+func (c *CompiledVM) QueueForMask(k packet.FlowKey) (int, FieldMask) {
+	if q, ok := c.qos.Lookup(k); ok {
+		return q, c.qosMask
+	}
+	return 0, c.qosMask
+}
+
+// TunnelView is an immutable snapshot of a TunnelTable, shared read-only
+// across shard workers.
+type TunnelView struct {
+	m map[tunnelKey]TunnelMapping
+}
+
+// Snapshot copies the table into an immutable view.
+func (t *TunnelTable) Snapshot() *TunnelView {
+	v := &TunnelView{m: make(map[tunnelKey]TunnelMapping, len(t.m))}
+	for k, m := range t.m {
+		v.m[k] = m
+	}
+	return v
+}
+
+// Each calls fn for every mapping (control-plane seeding; order
+// unspecified).
+func (t *TunnelTable) Each(fn func(TunnelMapping)) {
+	for _, m := range t.m {
+		fn(m)
+	}
+}
+
+// Lookup returns the mapping for a tenant's destination VM.
+func (v *TunnelView) Lookup(tenant packet.TenantID, vmIP packet.IP) (TunnelMapping, bool) {
+	m, ok := v.m[tunnelKey{tenant, vmIP}]
+	return m, ok
+}
+
+// Len returns the number of mappings in the view.
+func (v *TunnelView) Len() int { return len(v.m) }

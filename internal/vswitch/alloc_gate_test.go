@@ -3,7 +3,11 @@ package vswitch
 import (
 	"testing"
 
+	"repro/internal/model"
 	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // TestFastPathAllocsWithTelemetryDisabled is the observability overhead
@@ -61,4 +65,70 @@ func TestFastPathAllocsWithTelemetryDisabled(t *testing.T) {
 			t.Fatalf("tuple-space evaluate allocates %v/op with telemetry disabled, want 0", n)
 		}
 	})
+}
+
+// TestVectorPipelineAllocs is the batched-path gate: a warm vector of 32
+// packets through the sharded plane's full pipeline — flow-key
+// extraction, exact/megaflow classification, VXLAN encap, wire
+// serialization — must stay exactly 0 allocs per vector, with and
+// without a flight recorder attached. The steady state reuses the
+// injector's pooled vector, the shard's scratch arrays and wire buffer,
+// and the encap outer-packet pool; anything that breaks that shows up
+// here as a hard failure, not a benchmark regression.
+func TestVectorPipelineAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; the pooled pipeline cannot be 0-alloc there")
+	}
+	build := func(withTelemetry bool) (*ShardedPlane, *PlaneInjector, []VMKey, []*packet.Packet) {
+		eng := sim.NewEngine(1)
+		sw, _ := newSwitch(eng, model.VSwitchConfig{Tunneling: true}, &capture{})
+		r := &rules.VMRules{Tenant: 3, VMIP: vmA.IP, Security: []rules.SecurityRule{
+			{Pattern: rules.Pattern{Tenant: 3, Proto: packet.ProtoTCP}, Action: rules.Allow, Priority: 1},
+		}}
+		attach(sw, vmA, r)
+		dst := packet.MustParseIP("10.0.9.9")
+		sw.SetTunnel(rules.TunnelMapping{Tenant: 3, VMIP: dst, Remote: srvB})
+		pl := sw.EnableShardedPlane(PlaneConfig{Shards: 1})
+		if withTelemetry {
+			rec := telemetry.NewRecorder(eng.Now, telemetry.Config{})
+			pl.SetRecorder(rec.Scope("plane"))
+		}
+		inj := pl.NewInjector()
+		keys := make([]VMKey, packet.DefaultVectorSize)
+		pkts := make([]*packet.Packet, packet.DefaultVectorSize)
+		for i := range pkts {
+			keys[i] = vmA
+			pkts[i] = packet.NewTCP(3, vmA.IP, dst, uint16(40000+i), 80, 256)
+		}
+		return pl, inj, keys, pkts
+	}
+	vector := func(inj *PlaneInjector, keys []VMKey, pkts []*packet.Packet) {
+		for i := range pkts {
+			inj.Egress(keys[i], pkts[i])
+		}
+		inj.Flush()
+	}
+	for _, tc := range []struct {
+		name          string
+		withTelemetry bool
+	}{
+		{"telemetry-detached", false},
+		{"telemetry-attached", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pl, inj, keys, pkts := build(tc.withTelemetry)
+			// Warm: installs exact entries, the megaflow, and primes the
+			// encap and wire-buffer pools.
+			vector(inj, keys, pkts)
+			vector(inj, keys, pkts)
+			before := pl.Counters()
+			if n := testing.AllocsPerRun(100, func() { vector(inj, keys, pkts) }); n != 0 {
+				t.Fatalf("warm 32-packet vector allocates %v/op (%s), want 0", n, tc.name)
+			}
+			c := pl.Counters()
+			if got := c.Packets - before.Packets; got == 0 || c.Tx != c.Packets {
+				t.Fatalf("gate did no work: before %+v after %+v", before, c)
+			}
+		})
+	}
 }

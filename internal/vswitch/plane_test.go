@@ -1,0 +1,351 @@
+package vswitch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// planeRuleSet builds a deterministic randomized rule set for a VM:
+// port-specific allows/denies plus a low-priority tenant-wide allow, so
+// verdicts exercise priorities, masks and the deny-wins merge.
+func planeRuleSet(rng *rand.Rand, tenant packet.TenantID, ip packet.IP) *rules.VMRules {
+	r := &rules.VMRules{Tenant: tenant, VMIP: ip}
+	n := 2 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		pat := rules.Pattern{Tenant: tenant}
+		if rng.Intn(2) == 0 {
+			pat.DstPort = uint16(8000 + rng.Intn(8))
+		}
+		if rng.Intn(3) == 0 {
+			pat.Proto = packet.ProtoTCP
+		}
+		r.Security = append(r.Security, rules.SecurityRule{
+			Pattern:  pat,
+			Action:   rules.Action(rng.Intn(2)),
+			Priority: 1 + rng.Intn(8),
+		})
+		if rng.Intn(2) == 0 {
+			r.QoS = append(r.QoS, rules.QoSRule{Pattern: pat, Queue: rng.Intn(4), Priority: rng.Intn(4)})
+		}
+	}
+	r.Security = append(r.Security, rules.SecurityRule{
+		Pattern: rules.Pattern{Tenant: tenant}, Action: rules.Allow, Priority: 0,
+	})
+	return r
+}
+
+// TestPlaneVerdictParity checks the sharded plane's whole classification
+// stack (compiled epochs + per-shard exact and megaflow caches) against
+// the deterministic switch's evaluate over randomized rules and keys.
+func TestPlaneVerdictParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eng := sim.NewEngine(1)
+	sw, _ := newSwitch(eng, model.VSwitchConfig{}, &capture{})
+	var keys []VMKey
+	for i := 0; i < 6; i++ {
+		key := VMKey{Tenant: 3, IP: packet.MakeIP(10, 0, 0, byte(1+i))}
+		attach(sw, key, planeRuleSet(rng, 3, key.IP))
+		keys = append(keys, key)
+	}
+
+	type rec struct {
+		allow bool
+		queue int
+	}
+	got := map[packet.FlowKey]rec{}
+	pl := sw.EnableShardedPlane(PlaneConfig{
+		Shards: 1,
+		OnVerdict: func(_ int, k packet.FlowKey, allow bool, queue int) {
+			got[k] = rec{allow, queue}
+		},
+	})
+	inj := pl.NewInjector()
+
+	want := map[packet.FlowKey]rec{}
+	for i := 0; i < 2000; i++ {
+		src := keys[rng.Intn(len(keys))]
+		var dst packet.IP
+		if rng.Intn(2) == 0 {
+			dst = keys[rng.Intn(len(keys))].IP // local, rule-bearing peer
+		} else {
+			dst = packet.MakeIP(10, 0, 9, byte(rng.Intn(8))) // remote
+		}
+		p := packet.NewTCP(3, src.IP, dst, uint16(40000+rng.Intn(64)), uint16(8000+rng.Intn(10)), 128)
+		k := p.Key()
+		if _, seen := want[k]; !seen {
+			v, _ := sw.evaluate(k)
+			want[k] = rec{v.allow, v.queue}
+		}
+		inj.Egress(src, p)
+	}
+	inj.Flush()
+
+	if len(got) != len(want) {
+		t.Fatalf("plane classified %d distinct flows, reference saw %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("flow %v never classified by plane", k)
+		}
+		if g != w {
+			t.Fatalf("flow %v: plane verdict %+v, reference %+v", k, g, w)
+		}
+	}
+	c := pl.Counters()
+	if c.Packets != 2000 {
+		t.Fatalf("plane processed %d packets, want 2000", c.Packets)
+	}
+	if acc := c.Tx + c.Denied + c.Unrouted + c.Drops.Total(); acc != c.Packets {
+		t.Fatalf("conservation violated: packets=%d accounted=%d (%+v)", c.Packets, acc, c)
+	}
+}
+
+// TestPlaneEpochFlush checks that control-plane mutations routed through
+// the switch republish epochs and the shard flushes its caches: a flow's
+// verdict flips after its VM's rules change, and the flush is counted.
+func TestPlaneEpochFlush(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw, _ := newSwitch(eng, model.VSwitchConfig{}, &capture{})
+	allow := &rules.VMRules{Tenant: 3, VMIP: vmA.IP, Security: []rules.SecurityRule{
+		{Pattern: rules.Pattern{Tenant: 3}, Action: rules.Allow, Priority: 1},
+	}}
+	attach(sw, vmA, allow)
+
+	var verdicts []bool
+	pl := sw.EnableShardedPlane(PlaneConfig{
+		Shards:    1,
+		OnVerdict: func(_ int, _ packet.FlowKey, a bool, _ int) { verdicts = append(verdicts, a) },
+	})
+	inj := pl.NewInjector()
+	send := func() {
+		inj.Egress(vmA, sendPkt(3, vmA.IP, packet.MustParseIP("10.0.9.9"), 80, 100))
+		inj.Flush()
+	}
+
+	send() // epoch 1: allowed
+	seq := pl.EpochSeq()
+
+	deny := &rules.VMRules{Tenant: 3, VMIP: vmA.IP, Security: []rules.SecurityRule{
+		{Pattern: rules.Pattern{Tenant: 3}, Action: rules.Deny, Priority: 1},
+	}}
+	attach(sw, vmA, deny) // Switch.AttachVM republishes the plane epoch
+	if pl.EpochSeq() == seq {
+		t.Fatal("AttachVM did not publish a new epoch")
+	}
+	send() // epoch 2: denied — stale cached verdict must not survive
+
+	if len(verdicts) != 2 || !verdicts[0] || verdicts[1] {
+		t.Fatalf("verdicts across epoch change = %v, want [true false]", verdicts)
+	}
+	c := pl.Counters()
+	if c.EpochFlushes == 0 {
+		t.Fatal("shard never flushed on epoch change")
+	}
+	if c.Denied != 1 || c.Tx != 1 {
+		t.Fatalf("counters %+v, want exactly one tx then one denied", c)
+	}
+}
+
+// TestPlaneTunnelAndLocalOutcomes checks the egress arm: local vport
+// delivery, VXLAN-tunneled transmit, and no-tunnel unrouted accounting.
+func TestPlaneTunnelAndLocalOutcomes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw, _ := newSwitch(eng, model.VSwitchConfig{Tunneling: true}, &capture{})
+	attach(sw, vmA, nil)
+	attach(sw, vmB, nil)
+	sw.SetTunnel(rules.TunnelMapping{Tenant: 3, VMIP: packet.MustParseIP("10.0.9.9"), Remote: srvB})
+
+	pl := sw.EnableShardedPlane(PlaneConfig{Shards: 1})
+	inj := pl.NewInjector()
+	inj.Egress(vmA, sendPkt(3, vmA.IP, vmB.IP, 80, 100))                                                                            // local
+	inj.Egress(vmA, sendPkt(3, vmA.IP, packet.MustParseIP("10.0.9.9"), 80, 100))                                                    // tunneled
+	inj.Egress(vmA, sendPkt(3, vmA.IP, packet.MustParseIP("10.0.77.7"), 80, 100))                                                   // no tunnel
+	inj.Egress(VMKey{Tenant: 3, IP: packet.MustParseIP("10.0.0.99")}, sendPkt(3, packet.MustParseIP("10.0.0.99"), vmB.IP, 80, 100)) // no vport
+	inj.Flush()
+
+	c := pl.Counters()
+	if c.LocalTx != 1 || c.Tx != 2 || c.Unrouted != 2 {
+		t.Fatalf("counters %+v, want localtx=1 tx=2 unrouted=2", c)
+	}
+	if acc := c.Tx + c.Denied + c.Unrouted + c.Drops.Total(); acc != c.Packets {
+		t.Fatalf("conservation violated: %+v", c)
+	}
+}
+
+// TestPlaneNICFirstEgress checks that flows covered by a published
+// SmartNIC placement leave through the NIC-first arm, and that removing
+// the placement returns them to the software path.
+func TestPlaneNICFirstEgress(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw, _ := newSwitch(eng, model.VSwitchConfig{Tunneling: true}, &capture{})
+	attach(sw, vmA, nil)
+	dst := packet.MustParseIP("10.0.9.9")
+	sw.SetTunnel(rules.TunnelMapping{Tenant: 3, VMIP: dst, Remote: srvB})
+
+	pl := sw.EnableShardedPlane(PlaneConfig{Shards: 1})
+	pl.SetNICPlacements([]rules.Pattern{{Tenant: 3, Src: vmA.IP, SrcPrefix: 32, Dst: dst, DstPrefix: 32}})
+	inj := pl.NewInjector()
+	send := func() {
+		inj.Egress(vmA, sendPkt(3, vmA.IP, dst, 80, 100))
+		inj.Flush()
+	}
+	send()
+	if c := pl.Counters(); c.NICTx != 1 || c.Tx != 1 {
+		t.Fatalf("counters %+v, want the packet claimed by NIC-first egress", c)
+	}
+	pl.SetNICPlacements(nil)
+	send()
+	if c := pl.Counters(); c.NICTx != 1 || c.Tx != 2 {
+		t.Fatalf("counters %+v, want the second packet on the software path", c)
+	}
+}
+
+// TestPlaneShapingDrops checks per-shard htb enforcement on the virtual
+// clock: a tight VIF limit drops the overflow as Shape, and conservation
+// still closes.
+func TestPlaneShapingDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw, _ := newSwitch(eng, model.VSwitchConfig{}, &capture{})
+	attach(sw, vmA, nil)
+	pl := sw.EnableShardedPlane(PlaneConfig{Shards: 1})     // Now defaults to eng.Now
+	if err := sw.SetVIFLimits(vmA, 80_000, 0); err != nil { // 10 KB/s
+		t.Fatal(err)
+	}
+	inj := pl.NewInjector()
+	for i := 0; i < 100; i++ {
+		inj.Egress(vmA, sendPkt(3, vmA.IP, packet.MustParseIP("10.0.9.9"), 80, 1400))
+	}
+	inj.Flush()
+	c := pl.Counters()
+	if c.Drops.Shape == 0 {
+		t.Fatalf("no shape drops under a 10KB/s limit: %+v", c)
+	}
+	if c.Tx == 0 {
+		t.Fatalf("limit dropped everything (burst should pass): %+v", c)
+	}
+	if acc := c.Tx + c.Denied + c.Unrouted + c.Drops.Total(); acc != c.Packets {
+		t.Fatalf("conservation violated: %+v", c)
+	}
+}
+
+// TestPlaneInlineDeterminism runs the identical submission sequence
+// through two fresh inline planes and requires bit-identical counters and
+// flow snapshots — the determinism contract the single-shard default mode
+// must keep for the sim/experiment/chaos harness.
+func TestPlaneInlineDeterminism(t *testing.T) {
+	run := func() (PlaneCounters, map[packet.FlowKey]PlaneFlowStat) {
+		rng := rand.New(rand.NewSource(99))
+		eng := sim.NewEngine(1)
+		sw, _ := newSwitch(eng, model.VSwitchConfig{Tunneling: true}, &capture{})
+		var keys []VMKey
+		for i := 0; i < 4; i++ {
+			key := VMKey{Tenant: 3, IP: packet.MakeIP(10, 0, 0, byte(1+i))}
+			attach(sw, key, planeRuleSet(rng, 3, key.IP))
+			keys = append(keys, key)
+		}
+		sw.SetTunnel(rules.TunnelMapping{Tenant: 3, VMIP: packet.MustParseIP("10.0.9.9"), Remote: srvB})
+		pl := sw.EnableShardedPlane(PlaneConfig{Shards: 1})
+		inj := pl.NewInjector()
+		for i := 0; i < 3000; i++ {
+			src := keys[rng.Intn(len(keys))]
+			dst := packet.MustParseIP("10.0.9.9")
+			if rng.Intn(3) == 0 {
+				dst = keys[rng.Intn(len(keys))].IP
+			}
+			inj.Egress(src, packet.NewTCP(3, src.IP, dst, uint16(40000+rng.Intn(32)), uint16(8000+rng.Intn(8)), 200))
+			if rng.Intn(500) == 0 {
+				sw.Invalidate(rules.Pattern{Tenant: 3})
+			}
+		}
+		inj.Flush()
+		flows := map[packet.FlowKey]PlaneFlowStat{}
+		for _, f := range pl.FlowSnapshot() {
+			flows[f.Key] = f
+		}
+		return pl.Counters(), flows
+	}
+
+	c1, f1 := run()
+	c2, f2 := run()
+	if c1 != c2 {
+		t.Fatalf("counters diverged across identical runs:\n%+v\n%+v", c1, c2)
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("flow snapshots diverged: %d vs %d flows", len(f1), len(f2))
+	}
+	for k, a := range f1 {
+		if b, ok := f2[k]; !ok || a != b {
+			t.Fatalf("flow %v diverged: %+v vs %+v", k, a, b)
+		}
+	}
+}
+
+// TestPlaneWorkerModeBasics exercises the 4-shard worker configuration
+// end to end on a small workload: everything submitted is accounted,
+// barriers drain, and a flow's packets all land on one shard.
+func TestPlaneWorkerModeBasics(t *testing.T) {
+	pl := NewShardedPlane(PlaneConfig{Shards: 4, Tunneling: true, ServerIP: srvA})
+	defer pl.Close()
+	tenant := packet.TenantID(3)
+	src := packet.MustParseIP("10.0.0.1")
+	key := VMKey{Tenant: tenant, IP: src}
+	pl.AttachVM(key, nil)
+	dst := packet.MustParseIP("10.0.9.9")
+	pl.SetTunnel(rules.TunnelMapping{Tenant: tenant, VMIP: dst, Remote: srvB})
+
+	inj := pl.NewInjector()
+	const total = 500
+	for i := 0; i < total; i++ {
+		// 16 distinct flows; each must land wholly on one shard.
+		inj.Egress(key, packet.NewTCP(tenant, src, dst, uint16(40000+i%16), 80, 100))
+	}
+	inj.Flush()
+	pl.Barrier()
+
+	c := pl.Counters()
+	if c.Packets != total || c.Tx != total {
+		t.Fatalf("counters %+v, want %d packets all transmitted", c, total)
+	}
+	perFlowShard := map[packet.FlowKey]int{}
+	for sh, s := range pl.shards {
+		for k := range s.exact {
+			if prev, dup := perFlowShard[k]; dup && prev != sh {
+				t.Fatalf("flow %v present on shards %d and %d", k, prev, sh)
+			}
+			perFlowShard[k] = sh
+		}
+	}
+	if len(perFlowShard) != 16 {
+		t.Fatalf("expected 16 distinct flows across shards, got %d", len(perFlowShard))
+	}
+	if pl.ActiveFlows() != 16 {
+		t.Fatalf("ActiveFlows = %d, want 16", pl.ActiveFlows())
+	}
+}
+
+// TestPlaneVectorBatching checks the vector plumbing itself: target-size
+// flushes, partial flushes, and pooled vector reuse via the plane's
+// vector counter.
+func TestPlaneVectorBatching(t *testing.T) {
+	pl := NewShardedPlane(PlaneConfig{Shards: 1, VectorSize: 8})
+	key := VMKey{Tenant: 3, IP: packet.MustParseIP("10.0.0.1")}
+	pl.AttachVM(key, nil)
+	inj := pl.NewInjector()
+	for i := 0; i < 20; i++ { // 8 + 8 + partial 4
+		inj.Egress(key, sendPkt(3, key.IP, packet.MustParseIP("10.0.9.9"), 80, 100))
+	}
+	if got := pl.Counters().Vectors; got != 2 {
+		t.Fatalf("full-vector flushes = %d, want 2 before explicit Flush", got)
+	}
+	inj.Flush()
+	c := pl.Counters()
+	if c.Vectors != 3 || c.Packets != 20 {
+		t.Fatalf("counters %+v, want 3 vectors / 20 packets", c)
+	}
+}

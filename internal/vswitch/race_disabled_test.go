@@ -1,0 +1,6 @@
+//go:build !race
+
+package vswitch
+
+// raceEnabled reports whether this binary was built with -race.
+const raceEnabled = false

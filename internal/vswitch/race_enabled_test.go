@@ -1,0 +1,8 @@
+//go:build race
+
+package vswitch
+
+// raceEnabled reports whether this binary was built with -race. The
+// alloc gates skip under the detector: sync.Pool intentionally drops
+// items at random when race-instrumented, so pooled paths allocate.
+const raceEnabled = true

@@ -1,0 +1,294 @@
+package vswitch
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/ratelimit"
+	"repro/internal/rules"
+	"repro/internal/telemetry"
+	"repro/internal/tunnel"
+)
+
+// shardMsg is one unit on a shard's input ring: a packet vector to
+// process, a barrier (done != nil), or both. Barriers travel the same
+// channel as vectors, so closing done proves every earlier vector
+// drained.
+type shardMsg struct {
+	vec  *packet.Vector
+	done chan struct{}
+}
+
+// planeFlow is one exact-cache entry: the cached verdict plus per-flow
+// traffic accounting (merged across shards by FlowSnapshot).
+type planeFlow struct {
+	v     fpVerdict
+	pkts  uint64
+	bytes uint64
+}
+
+// planeCountersAtomic mirrors a shard's plain counters for race-free
+// external sampling. The shard owns the plain copy and stores the mirror
+// once per vector; readers only load.
+type planeCountersAtomic struct {
+	vectors, packets                   atomic.Uint64
+	tx, localTx, nicTx                 atomic.Uint64
+	denied, unrouted, epochFlushes     atomic.Uint64
+	dropShape                          atomic.Uint64
+	megaHits, megaMisses, megaInstalls atomic.Uint64
+	megaEvictions, megaInvalidations   atomic.Uint64
+}
+
+func (a *planeCountersAtomic) publish(c *PlaneCounters, mega *metrics.CacheCounters) {
+	a.vectors.Store(c.Vectors)
+	a.packets.Store(c.Packets)
+	a.tx.Store(c.Tx)
+	a.localTx.Store(c.LocalTx)
+	a.nicTx.Store(c.NICTx)
+	a.denied.Store(c.Denied)
+	a.unrouted.Store(c.Unrouted)
+	a.epochFlushes.Store(c.EpochFlushes)
+	a.dropShape.Store(c.Drops.Shape)
+	a.megaHits.Store(mega.Hits)
+	a.megaMisses.Store(mega.Misses)
+	a.megaInstalls.Store(mega.Installs)
+	a.megaEvictions.Store(mega.Evictions)
+	a.megaInvalidations.Store(mega.Invalidations)
+}
+
+func (a *planeCountersAtomic) snapshot() PlaneCounters {
+	return PlaneCounters{
+		Vectors:      a.vectors.Load(),
+		Packets:      a.packets.Load(),
+		Tx:           a.tx.Load(),
+		LocalTx:      a.localTx.Load(),
+		NICTx:        a.nicTx.Load(),
+		Denied:       a.denied.Load(),
+		Unrouted:     a.unrouted.Load(),
+		EpochFlushes: a.epochFlushes.Load(),
+		Drops:        metrics.DropCounters{Shape: a.dropShape.Load()},
+		Megaflow: metrics.CacheCounters{
+			Hits:          a.megaHits.Load(),
+			Misses:        a.megaMisses.Load(),
+			Installs:      a.megaInstalls.Load(),
+			Evictions:     a.megaEvictions.Load(),
+			Invalidations: a.megaInvalidations.Load(),
+		},
+	}
+}
+
+// packet dispositions assigned during classification, consumed by egress.
+const (
+	dispForward = iota // verdict in sh.verdicts[i]
+	dispNoVport        // no source vport in this epoch
+)
+
+// planeShard owns one slice of the flow space. Everything below `in` is
+// private to the shard's processing goroutine (the caller's goroutine in
+// inline mode) and is touched with no synchronization — that privacy is
+// the whole design.
+type planeShard struct {
+	plane *ShardedPlane
+	id    int
+	in    chan shardMsg
+	snap  planeCountersAtomic
+	_     [64]byte // keep one shard's hot state off its neighbors' cache lines
+
+	// Epoch currently adopted.
+	seq    uint64
+	tables *planeTables
+
+	// Private caches, flushed wholesale on epoch change.
+	exact   map[packet.FlowKey]*planeFlow
+	mega    *megaflowCache
+	buckets map[VMKey]*ratelimit.TokenBucket
+
+	// Plain counters (owned by the shard; mirrored into snap per vector).
+	c PlaneCounters
+
+	// Fixed per-vector scratch — no per-packet allocation.
+	keys     [packet.MaxVectorSize]packet.FlowKey
+	verdicts [packet.MaxVectorSize]fpVerdict
+	disp     [packet.MaxVectorSize]uint8
+	wire     []byte
+
+	// rec is set only in inline mode (SetRecorder); worker shards leave
+	// it nil because Recorder event sequencing is single-goroutine.
+	rec *telemetry.Scoped
+}
+
+func newPlaneShard(pl *ShardedPlane, id int) *planeShard {
+	sh := &planeShard{
+		plane:   pl,
+		id:      id,
+		exact:   make(map[packet.FlowKey]*planeFlow),
+		mega:    newMegaflowCache(DefaultMegaflowLimit),
+		buckets: make(map[VMKey]*ratelimit.TokenBucket),
+		wire:    make([]byte, 0, 2048),
+	}
+	if !pl.inline {
+		sh.in = make(chan shardMsg, pl.cfg.RingDepth)
+	}
+	return sh
+}
+
+// run is the worker loop (worker mode only).
+func (sh *planeShard) run() {
+	defer sh.plane.wg.Done()
+	for msg := range sh.in {
+		if msg.vec != nil {
+			sh.process(msg.vec)
+			packet.PutVector(msg.vec)
+		}
+		if msg.done != nil {
+			close(msg.done)
+		}
+	}
+}
+
+// adoptEpoch switches the shard to a new epoch, flushing every private
+// cache — the whole invalidation protocol. Shaping buckets are rebuilt
+// too: limits may have changed, and a fresh bucket's burst allowance is
+// the htb enqueue-time grace an invalidation storm would get anyway.
+func (sh *planeShard) adoptEpoch(ep *rules.Epoch[*planeTables]) {
+	if sh.tables != nil {
+		sh.c.EpochFlushes++
+		clear(sh.exact)
+		if sh.mega.Len() > 0 {
+			sh.mega.flush()
+		}
+		clear(sh.buckets)
+	}
+	sh.seq = ep.Seq
+	sh.tables = ep.Tables
+}
+
+// process runs one vector through the pipeline: epoch pickup → flow-key
+// extraction → classification (exact → megaflow → full table walk) →
+// egress (NIC-first → shape → local/encap). Per-packet work touches only
+// shard-private state; shared state is the epoch snapshot (immutable) and
+// the counter mirror (stored once at the end).
+func (sh *planeShard) process(v *packet.Vector) {
+	ep := sh.plane.pub.Load()
+	if sh.tables == nil || ep.Seq != sh.seq {
+		sh.adoptEpoch(ep)
+	}
+	t := sh.tables
+	pkts := v.Pkts
+	n := len(pkts)
+
+	// Stage 1: flow-key extraction.
+	for i := 0; i < n; i++ {
+		sh.keys[i] = pkts[i].Key()
+	}
+
+	// Stage 2: classification.
+	for i := 0; i < n; i++ {
+		k := sh.keys[i]
+		if _, ok := t.vms[VMKey{Tenant: k.Tenant, IP: k.Src}]; !ok {
+			// No source vport this epoch — mirror of the vswitch's
+			// unknown-VM egress check, resolved before classification.
+			sh.disp[i] = dispNoVport
+			continue
+		}
+		sh.disp[i] = dispForward
+		if f, ok := sh.exact[k]; ok {
+			f.pkts++
+			f.bytes += uint64(pkts[i].WireLen())
+			sh.verdicts[i] = f.v
+			sh.rec.Hit(telemetry.KindExactHit, k.Tenant, k)
+			continue
+		}
+		fv, ok := sh.mega.lookup(k, 0)
+		if !ok {
+			var mask rules.FieldMask
+			fv, mask = t.evaluate(k)
+			sh.mega.install(k, mask, fv, 0)
+		} else {
+			sh.rec.Hit(telemetry.KindMegaflowHit, k.Tenant, k)
+		}
+		sh.exact[k] = &planeFlow{v: fv, pkts: 1, bytes: uint64(pkts[i].WireLen())}
+		sh.verdicts[i] = fv
+	}
+
+	// Stage 3: egress. The shaping clock is read at most once per vector.
+	var now time.Duration
+	if len(t.limits) > 0 {
+		now = sh.plane.cfg.Now()
+	}
+	onVerdict := sh.plane.cfg.OnVerdict
+	for i := 0; i < n; i++ {
+		k := sh.keys[i]
+		if sh.disp[i] == dispNoVport {
+			sh.c.Unrouted++
+			sh.rec.Drop(k.Tenant, k, "no-vport")
+			continue
+		}
+		fv := sh.verdicts[i]
+		if onVerdict != nil {
+			onVerdict(sh.id, k, fv.allow, fv.queue)
+		}
+		if !fv.allow {
+			sh.c.Denied++
+			sh.rec.Drop(k.Tenant, k, "denied")
+			continue
+		}
+		// NIC-first egress: flows the SmartNIC has placed leave through
+		// hardware; software shaping and encap are skipped.
+		if t.nicN > 0 {
+			if _, ok := t.nic.Lookup(k); ok {
+				sh.c.NICTx++
+				sh.c.Tx++
+				continue
+			}
+		}
+		srcKey := VMKey{Tenant: k.Tenant, IP: k.Src}
+		if bps, ok := t.limits[srcKey]; ok {
+			b := sh.bucketFor(srcKey, bps, now)
+			if _, ok := b.ReserveLimit(now, pkts[i].WireLen(), maxShapeDelay); !ok {
+				sh.c.Drops.Shape++
+				sh.rec.Drop(k.Tenant, k, "shape")
+				continue
+			}
+		}
+		if _, ok := t.vms[VMKey{Tenant: k.Tenant, IP: k.Dst}]; ok {
+			// Destination vport is local: same-host delivery, no encap.
+			sh.c.LocalTx++
+			sh.c.Tx++
+			continue
+		}
+		if !sh.plane.cfg.Tunneling {
+			sh.c.Tx++
+			continue
+		}
+		m, ok := t.tunnels.Lookup(k.Tenant, pkts[i].IP.Dst)
+		if !ok {
+			sh.c.Unrouted++
+			sh.rec.Drop(k.Tenant, k, "no-tunnel")
+			continue
+		}
+		outer, err := tunnel.VXLANEncapHashed(sh.plane.cfg.ServerIP, m.Remote, k.Tenant, pkts[i], k.FastHash())
+		if err != nil {
+			sh.c.Unrouted++
+			sh.rec.Drop(k.Tenant, k, "encap")
+			continue
+		}
+		// Serialize into the shard's persistent wire buffer — the full
+		// marshal cost the real switch pays per transmitted frame.
+		buf, err := outer.AppendMarshalTruncated(sh.wire[:0])
+		if err == nil {
+			sh.wire = buf[:0]
+			sh.c.Tx++
+		} else {
+			sh.c.Unrouted++
+			sh.rec.Drop(k.Tenant, k, "encap")
+		}
+		tunnel.Release(outer)
+	}
+
+	sh.c.Vectors++
+	sh.c.Packets += uint64(n)
+	sh.snap.publish(&sh.c, &sh.mega.stats)
+}

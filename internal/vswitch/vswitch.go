@@ -98,6 +98,11 @@ type Switch struct {
 	// Hot paths guard with a single pointer test before building events.
 	rec *telemetry.Scoped
 
+	// plane, when non-nil, is the sharded throughput data plane mirroring
+	// this switch's rule state (see plane.go). Control-plane mutators
+	// republish epochs through it so rule updates never race the shards.
+	plane *ShardedPlane
+
 	upcalls       uint64
 	upcallsServed uint64
 	denied        uint64
@@ -159,6 +164,9 @@ func (s *Switch) AttachVM(key VMKey, vmRules *rules.VMRules, deliver fabric.Port
 	// Wildcard verdicts covering this VM's address were computed without
 	// its rules; new flows must re-classify against the attached vport.
 	s.invalidateVMFlows(key)
+	if s.plane != nil {
+		s.plane.AttachVM(key, vmRules)
+	}
 }
 
 // invalidateVMFlows flushes megaflow entries whose region touches the
@@ -189,14 +197,25 @@ func (s *Switch) DetachVM(key VMKey) {
 			job.install = false
 		}
 	}
+	if s.plane != nil {
+		s.plane.DetachVM(key)
+	}
 }
 
 // SetTunnel installs a (tenant, remote VM IP) → remote server mapping.
-func (s *Switch) SetTunnel(m rules.TunnelMapping) { s.tunnels.Set(m) }
+func (s *Switch) SetTunnel(m rules.TunnelMapping) {
+	s.tunnels.Set(m)
+	if s.plane != nil {
+		s.plane.SetTunnel(m)
+	}
+}
 
 // RemoveTunnel drops a mapping (VM migration updates, requirement S4).
 func (s *Switch) RemoveTunnel(tenant packet.TenantID, vmIP packet.IP) {
 	s.tunnels.Remove(tenant, vmIP)
+	if s.plane != nil {
+		s.plane.RemoveTunnel(tenant, vmIP)
+	}
 }
 
 // SetVIFLimits installs htb shaping rates on a VM's VIF; zero disables a
@@ -210,6 +229,9 @@ func (s *Switch) SetVIFLimits(key VMKey, egressBps, ingressBps float64) error {
 	now := s.eng.Now()
 	vp.egress = makeBucket(vp.egress, now, egressBps)
 	vp.ingress = makeBucket(vp.ingress, now, ingressBps)
+	if s.plane != nil {
+		s.plane.SetVIFLimit(key, egressBps)
+	}
 	return nil
 }
 
@@ -266,6 +288,9 @@ func (s *Switch) Invalidate(p rules.Pattern) int {
 		if p.Match(k) {
 			job.install = false
 		}
+	}
+	if s.plane != nil {
+		s.plane.Invalidate(p)
 	}
 	return len(stale)
 }
