@@ -72,6 +72,8 @@ func main() {
 	tiered := flag.Bool("tiered", false, "run the canned three-tier placement-ladder scenario (experiments.RunTiered) instead of the rack workload")
 	failover := flag.Bool("failover", false, "run the canned control-plane failover scenario (experiments.RunFailover): hot-standby TOR controllers under partitions, crashes and pauses")
 	shards := flag.Int("shards", 0, "run the wall-clock throughput mode instead of the sim: drive the sharded batch data plane with this many shard workers (1 = inline deterministic configuration)")
+	sketchMode := flag.Bool("sketch", false, "measure flow demand with the streaming count-min + space-saving accountant and rank offload candidates incrementally instead of walking exact per-flow counters; with -flows >= 10000 this switches to the standalone accounting scale benchmark (no rack sim)")
+	sketchK := flag.Int("sketch-topk", 0, "heavy-hitter set size per server in -sketch mode (0 = default 1024)")
 	replicas := flag.Int("replicas", 0, "TOR controller replicas per rack (>1 enables hot-standby HA with leader election and epoch fencing)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "hardware rule lease TTL (>0 enables lease-based fail-safe expiry back to the software path)")
 	trace := flag.Bool("trace", false, "enable the flight recorder and metric sampler")
@@ -111,6 +113,16 @@ func main() {
 		}()
 	}
 
+	// sketchScaleFloor separates the two -sketch shapes: below it, -flows
+	// keeps its services-per-tenant meaning and the rack sim just runs
+	// with sketch accounting; at or above it, the flow count is a scale
+	// target no per-flow table should carry, and the standalone
+	// accounting benchmark runs instead.
+	const sketchScaleFloor = 10_000
+	if *sketchMode && *flows >= sketchScaleFloor {
+		runSketchScale(*flows, *seed)
+		return
+	}
 	if *shards > 0 {
 		runThroughput(*shards, *duration, *seed)
 		return
@@ -133,6 +145,8 @@ func main() {
 		TCAMCapacity:     *tcam,
 		Seed:             *seed,
 		SmartNICCapacity: *smartnic,
+		SketchAccounting: *sketchMode,
+		SketchTopK:       *sketchK,
 		Controller:       fastrak.ControllerOptions{Epoch: *epoch, Replicas: *replicas, LeaseTTL: *leaseTTL},
 	}
 	if *racks > 1 {

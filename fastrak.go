@@ -70,6 +70,18 @@ type Options struct {
 	// Controller tunes the rule manager; zero-value fields take the
 	// paper-prototype defaults.
 	Controller ControllerOptions
+	// SketchAccounting switches flow accounting from exact per-flow
+	// datapath snapshots to the streaming heavy-hitter sketch of
+	// internal/sketch (count-min + space-saving top-k) and the TOR
+	// decision engine to incremental re-ranking — constant memory and
+	// near-constant decision cost regardless of live-flow count. Off
+	// (default) keeps the exact paper-prototype accounting.
+	SketchAccounting bool
+	// SketchTopK sizes the per-server monitored heavy-hitter set when
+	// SketchAccounting is on (0 = default 1024). It should exceed the
+	// number of patterns worth offloading; everything below the top-k
+	// floor stays on the software path anyway.
+	SketchTopK int
 	// CostModel overrides the calibrated testbed cost model.
 	CostModel *model.CostModel
 }
@@ -261,6 +273,8 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	}
 	cfg.HA.Replicas = co.Replicas
 	cfg.HA.LeaseTTL = co.LeaseTTL
+	cfg.SketchAccounting = opts.SketchAccounting
+	cfg.Sketch.TopK = opts.SketchTopK
 	mgr := core.Attach(c, cfg)
 	return &Deployment{Cluster: c, Manager: mgr, vms: make(map[string]*host.VM)}, nil
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/packet"
 	"repro/internal/rules"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 	"repro/internal/vswitch"
 )
@@ -89,6 +90,22 @@ type Config struct {
 	// Smoother configures staleness-aware smoothing of offload
 	// candidates across control intervals (zero value = defaults).
 	Smoother decision.SmootherConfig
+
+	// SketchAccounting switches each local controller's measurement feed
+	// from exact per-flow datapath snapshots to the streaming heavy-hitter
+	// accountant of internal/sketch (count-min + space-saving top-k): the
+	// vswitch fast path accrues into the sketch as packets classify, and
+	// the ME samples the top-k pattern report instead of walking every
+	// exact-cache entry. Demand reports carry an openflow.SketchMeta tail
+	// and the TOR decision engine re-ranks incrementally. Off (the
+	// default) preserves the exact path byte for byte — it remains the
+	// differential-testing oracle.
+	SketchAccounting bool
+	// Sketch parameterizes the accountant when SketchAccounting is set
+	// (zero value = sketch defaults: k=1024, 2048×4 counters). The
+	// Aggregate knob is overridden to match Measure.Aggregate so sketch
+	// and exact modes key statistics identically.
+	Sketch sketch.Config
 
 	// HA configures control-plane high availability: hot-standby TOR
 	// controller replicas with epoch-fenced leader election, and lease-

@@ -11,6 +11,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/rules"
 	"repro/internal/sim"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 	"repro/internal/vswitch"
 )
@@ -75,6 +76,11 @@ type LocalController struct {
 	// PlacerExpiries counts placements expired by the lease fail-safe.
 	PlacerExpiries uint64
 
+	// acct is the streaming heavy-hitter accountant; non-nil only in
+	// sketch accounting mode (Config.SketchAccounting), where it replaces
+	// the exact datapath walk as the ME's statistics feed.
+	acct *sketch.Accountant
+
 	// rec is the flight-recorder scope; nil when telemetry is disabled.
 	rec *telemetry.Scoped
 }
@@ -90,6 +96,13 @@ func newLocalController(m *Manager, srv *host.Server) *LocalController {
 	lc.me = measure.New(m.Cluster.Eng, m.Cfg.Measure, lc.readDatapath)
 	lc.me.ServerID = uint32(srv.ID)
 	lc.me.OnReport = lc.sendReport
+	if m.Cfg.SketchAccounting {
+		scfg := m.Cfg.Sketch
+		scfg.Aggregate = m.Cfg.Measure.Aggregate
+		lc.acct = sketch.New(scfg, 1)
+		srv.VSwitch.EnableSketch(lc.acct.Shard(0))
+		lc.me.SetPatternSource(lc.readSketch)
+	}
 	// Degradation signal path: the vswitch's slow-path overload detector
 	// reports state transitions; the local controller forwards them to
 	// the TOR DE as OverloadHints so the emergency offload does not wait
@@ -211,6 +224,33 @@ func (lc *LocalController) readDatapath() []measure.Reading {
 	return out
 }
 
+// readSketch is the ME's statistics feed in sketch accounting mode: the
+// accountant's top-k pattern report instead of a walk over every exact-
+// cache entry. Counters are cumulative, exactly like datapath snapshots,
+// so the ME's two-sample delta logic applies unchanged. NIC-forwarded
+// flows bypass the vswitch (and therefore the sketch); their exact NIC
+// counters are keyed through the same aggregation and appended.
+func (lc *LocalController) readSketch() []measure.PatternReading {
+	rep := lc.acct.Report()
+	out := make([]measure.PatternReading, 0, len(rep))
+	for _, pc := range rep {
+		out = append(out, measure.PatternReading{Pattern: pc.Pattern, Packets: pc.Pkts, Bytes: pc.Bytes})
+	}
+	if n := lc.server.SmartNIC; n != nil {
+		aggregate := lc.acct.Config().Aggregate
+		for _, s := range n.Snapshot() {
+			if aggregate {
+				out = append(out,
+					measure.PatternReading{Pattern: rules.AggregatePattern(s.Key.EgressAggregate()), Packets: s.Packets, Bytes: s.Bytes},
+					measure.PatternReading{Pattern: rules.AggregatePattern(s.Key.IngressAggregate()), Packets: s.Packets, Bytes: s.Bytes})
+			} else {
+				out = append(out, measure.PatternReading{Pattern: rules.ExactPattern(s.Key), Packets: s.Packets, Bytes: s.Bytes})
+			}
+		}
+	}
+	return out
+}
+
 // sendReport forwards the ME's demand report, attaching the FPS splits
 // computed since the last interval. Large reports are chunked below the
 // protocol's frame limit; the TOR controller merges chunks per interval.
@@ -223,6 +263,19 @@ func (lc *LocalController) sendReport(rep openflow.DemandReport) {
 	if n := lc.server.SmartNIC; n != nil {
 		rep.NICFree = uint32(n.Free())
 		rep.NICPatterns = n.Patterns()
+	}
+	if lc.acct != nil {
+		cfg := lc.acct.Config()
+		ctr := lc.acct.Counters()
+		rep.Sketch = &openflow.SketchMeta{
+			TopK:  uint32(cfg.TopK),
+			Width: uint32(cfg.Width), Depth: uint32(cfg.Depth),
+			Floor: lc.acct.Floor(), Evictions: ctr.Evictions,
+		}
+		if lc.rec != nil {
+			lc.rec.Record(telemetry.Event{Kind: telemetry.KindSketchReport,
+				V1: float64(len(rep.Entries)), V2: float64(rep.Sketch.Floor)})
+		}
 	}
 	if lc.rec != nil {
 		lc.rec.Record(telemetry.Event{Kind: telemetry.KindReportSent,
@@ -448,6 +501,22 @@ func sortedVMs(srv *host.Server) []*host.VM {
 // observations, then installs Rs locally and queues Rh for the TOR
 // (§4.3.2).
 func (lc *LocalController) adjustRateLimits() {
+	// In sketch mode the accountant's monitored set doubles as a heavy-
+	// flow census per VM and direction: FPS uses the counts to split
+	// headroom by flow population when neither path shows demand yet.
+	var egFlows, inFlows map[vswitch.VMKey]int
+	if lc.acct != nil {
+		egFlows = make(map[vswitch.VMKey]int)
+		inFlows = make(map[vswitch.VMKey]int)
+		for _, pc := range lc.acct.Report() {
+			if pc.Pattern.SrcPrefix == 32 {
+				egFlows[vswitch.VMKey{Tenant: pc.Pattern.Tenant, IP: pc.Pattern.Src}]++
+			}
+			if pc.Pattern.DstPrefix == 32 {
+				inFlows[vswitch.VMKey{Tenant: pc.Pattern.Tenant, IP: pc.Pattern.Dst}]++
+			}
+		}
+	}
 	keys := make([]vswitch.VMKey, 0, len(lc.mgr.limits))
 	for key := range lc.mgr.limits {
 		keys = append(keys, key)
@@ -471,9 +540,9 @@ func (lc *LocalController) adjustRateLimits() {
 		egSoft, inSoft, _ := lc.server.VSwitch.VIFRates(key)
 		hw := lc.lastHW[key]
 		split := lim.Adjust(
-			fps.Demand{RateBps: egSoft},
+			fps.Demand{RateBps: egSoft, Flows: egFlows[key]},
 			fps.Demand{RateBps: hw.EgressBps, MaxedOut: hw.EgressMaxed},
-			fps.Demand{RateBps: inSoft},
+			fps.Demand{RateBps: inSoft, Flows: inFlows[key]},
 			fps.Demand{RateBps: hw.IngressBps, MaxedOut: hw.IngressMaxed},
 		)
 		split.Tenant = key.Tenant

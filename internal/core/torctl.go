@@ -125,6 +125,14 @@ type TORController struct {
 	smoother *decision.Smoother
 	damper   *decision.FlapDamper
 
+	// inc is the incremental re-rank engine, non-nil only in sketch
+	// accounting mode: it carries the ranked candidate order across
+	// control intervals so each cycle re-sorts only candidates whose
+	// effective score changed. With band 0 its decisions are identical
+	// to DecideTiered by construction. Volatile (reset on Crash) — the
+	// cache is a pure ordering optimization, so losing it is always safe.
+	inc *decision.IncrementalTiered
+
 	// urgent maps tenants flagged by OverloadHints to the sim time their
 	// priority boost expires.
 	urgent map[packet.TenantID]sim.Time
@@ -284,7 +292,12 @@ type TORController struct {
 }
 
 func newTORController(m *Manager, t *tor.TOR) *TORController {
+	var inc *decision.IncrementalTiered
+	if m.Cfg.SketchAccounting {
+		inc = decision.NewIncrementalTiered(0)
+	}
 	return &TORController{
+		inc:            inc,
 		mgr:            m,
 		tor:            t,
 		reports:        make(map[uint32]openflow.DemandReport),
@@ -438,6 +451,9 @@ func (tc *TORController) Crash() {
 	tc.lastReportAt = make(map[uint32]sim.Time)
 	tc.smoother = decision.NewSmoother(tc.mgr.Cfg.Smoother)
 	tc.damper = decision.NewFlapDamper(tc.mgr.Cfg.Damper)
+	if tc.inc != nil {
+		tc.inc.Reset()
+	}
 	tc.urgent = make(map[packet.TenantID]sim.Time)
 	tc.offloaded = make(map[rules.Pattern]bool)
 	tc.installing = make(map[rules.Pattern]*installState)
@@ -952,7 +968,7 @@ func (tc *TORController) tick() {
 	// controller. The NIC tier then places the candidates the TCAM did
 	// not take onto each sourcing host's SmartNIC.
 	nicStates, hostOf := tc.nicInputs()
-	td := decision.DecideTiered(decision.TieredConfig{
+	tcfg := decision.TieredConfig{
 		TCAM: decision.Config{
 			Budget:          budget,
 			MinScore:        tc.mgr.Cfg.MinScore,
@@ -962,7 +978,16 @@ func (tc *TORController) tick() {
 		NICMinScore:        tc.mgr.Cfg.NICMinScore,
 		NICHysteresisRatio: tc.mgr.Cfg.NICHysteresisRatio,
 		NICTenantQuota:     tc.mgr.Cfg.NICTenantQuota,
-	}, cands, current, nicStates, hostOf)
+	}
+	var td decision.TieredDecision
+	if tc.inc != nil {
+		// Sketch mode: incremental re-rank over the carried order —
+		// identical output to DecideTiered (band 0), without the full
+		// sort when most scores are unchanged.
+		td = tc.inc.Decide(tcfg, cands, current, nicStates, hostOf)
+	} else {
+		td = decision.DecideTiered(tcfg, cands, current, nicStates, hostOf)
+	}
 	// Flap damping on top of score hysteresis: a pattern whose offload
 	// state flipped repeatedly in quick succession is pinned to its
 	// current state until the penalty decays (internal/decision/damper.go).

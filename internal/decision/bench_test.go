@@ -41,6 +41,56 @@ func BenchmarkDecide(b *testing.B) {
 	}
 }
 
+// churn1pct drifts ~1% of candidate scores per cycle — the steady-state
+// shape at scale: a million flows collapse into ~10^4 ranked aggregate
+// patterns of which only a handful move rank between demand cycles.
+func churn1pct(rng *rand.Rand, cands []Candidate) {
+	for i := 0; i < len(cands)/100; i++ {
+		j := rng.Intn(len(cands))
+		cands[j].MedianPPS *= 0.5 + rng.Float64()
+	}
+}
+
+// BenchmarkDecideExact10k is the full-sort baseline at the ROADMAP scale
+// point (10^6 flows / 10^4 patterns): every cycle re-ranks all 10^4
+// patterns from scratch, paying two Pattern.String() allocations per
+// comparison.
+func BenchmarkDecideExact10k(b *testing.B) {
+	cands, offloaded := benchCandidates(10000)
+	cfg := Config{Budget: 1000, MinScore: 10, HysteresisRatio: 1.2}
+	rng := rand.New(rand.NewSource(11))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Decide(cfg, cands, offloaded)
+		b.StopTimer()
+		applyDecision(offloaded, d)
+		churn1pct(rng, cands)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkDecideIncremental10k is the same workload through the
+// incremental engine: identical decisions (Band 0), but each cycle only
+// re-sorts the ~1% of patterns whose scores moved. The ratio to
+// BenchmarkDecideExact10k is the acceptance number (≥10×).
+func BenchmarkDecideIncremental10k(b *testing.B) {
+	cands, offloaded := benchCandidates(10000)
+	cfg := Config{Budget: 1000, MinScore: 10, HysteresisRatio: 1.2}
+	inc := NewIncremental(0)
+	rng := rand.New(rand.NewSource(11))
+	inc.Decide(cfg, cands, offloaded) // warm: first cycle pays the full sort
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := inc.Decide(cfg, cands, offloaded)
+		b.StopTimer()
+		applyDecision(offloaded, d)
+		churn1pct(rng, cands)
+		b.StartTimer()
+	}
+}
+
 // BenchmarkDecideTiered is the N-level ladder on the same interval: the
 // TCAM decision plus a per-host NIC-tier Decide across 8 SmartNICs, with
 // per-tenant quotas. The delta over BenchmarkDecide is the cost of the

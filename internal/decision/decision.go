@@ -73,15 +73,21 @@ type unit struct {
 	eligible bool
 }
 
-// Decide selects the hardware set. offloaded is the currently-offloaded
-// pattern set.
-func Decide(cfg Config, cands []Candidate, offloaded map[rules.Pattern]bool) Decision {
+// normalize clamps the config fields every entry point must agree on.
+func (cfg Config) normalize() Config {
 	if cfg.Budget < 0 {
 		cfg.Budget = 0
 	}
 	if cfg.HysteresisRatio < 1 {
 		cfg.HysteresisRatio = 1
 	}
+	return cfg
+}
+
+// Decide selects the hardware set. offloaded is the currently-offloaded
+// pattern set.
+func Decide(cfg Config, cands []Candidate, offloaded map[rules.Pattern]bool) Decision {
+	cfg = cfg.normalize()
 	// Deterministic ranking: score desc, pattern string as tie-break.
 	ranked := append([]Candidate(nil), cands...)
 	sort.Slice(ranked, func(i, j int) bool {
@@ -91,6 +97,40 @@ func Decide(cfg Config, cands []Candidate, offloaded map[rules.Pattern]bool) Dec
 		}
 		return ranked[i].Pattern.String() < ranked[j].Pattern.String()
 	})
+	return decideRanked(cfg, ranked, offloaded)
+}
+
+// decideRanked is the selection half of Decide: it takes candidates
+// already in canonical rank order (effective score descending, pattern
+// string ascending within ties) and produces the Decision. The Incremental
+// engine maintains that order across cycles and calls this directly, so
+// exact and incremental modes share one selection semantics by
+// construction. cfg must already be normalized.
+func decideRanked(cfg Config, ranked []Candidate, offloaded map[rules.Pattern]bool) Decision {
+	// No groups: every unit is a single candidate, the stable unit sort is
+	// the identity on an already-ranked input, and a full unit never fits
+	// once the budget is reached — so the fold below degenerates to a
+	// greedy prefix fill. Do that directly; it is the common case and
+	// keeps the incremental engine's cycle O(n).
+	if len(cfg.Groups) == 0 {
+		var d Decision
+		selected := make(map[rules.Pattern]bool, cfg.Budget)
+		for _, c := range ranked {
+			if len(d.Offload) >= cfg.Budget {
+				break
+			}
+			if !(c.Score() > cfg.MinScore && c.ActiveEpochs > 0 && c.MedianPPS > 0) {
+				continue
+			}
+			if selected[c.Pattern] {
+				continue
+			}
+			selected[c.Pattern] = true
+			d.Offload = append(d.Offload, c.Pattern)
+		}
+		d.Demote = demoteList(offloaded, selected)
+		return d
+	}
 
 	// Fold candidates into units: group members merge into one
 	// all-or-nothing unit whose score is the sum of its members'.
@@ -149,8 +189,14 @@ func Decide(cfg Config, cands []Candidate, offloaded map[rules.Pattern]bool) Dec
 			d.Offload = append(d.Offload, p)
 		}
 	}
-	// Anything offloaded but not selected is demoted ("already
-	// offloaded flows that have lower scores are demoted back").
+	d.Demote = demoteList(offloaded, selected)
+	return d
+}
+
+// demoteList is the demotion half shared by both selection paths:
+// anything offloaded but not selected is demoted ("already offloaded
+// flows that have lower scores are demoted back").
+func demoteList(offloaded, selected map[rules.Pattern]bool) []rules.Pattern {
 	var demote []rules.Pattern
 	for p := range offloaded {
 		if !selected[p] {
@@ -158,8 +204,7 @@ func Decide(cfg Config, cands []Candidate, offloaded map[rules.Pattern]bool) Dec
 		}
 	}
 	sort.Slice(demote, func(i, j int) bool { return demote[i].String() < demote[j].String() })
-	d.Demote = demote
-	return d
+	return demote
 }
 
 // effectiveScore applies hysteresis: incumbents get their score scaled up

@@ -1,0 +1,253 @@
+// incremental.go makes the Decision Engine's ranking incremental: instead
+// of re-sorting every candidate from scratch each demand cycle (the
+// sort.Slice in Decide, whose comparator pays two Pattern.String()
+// allocations per comparison — the dominant cost at 10^4+ patterns), an
+// Incremental engine carries the ranked order across cycles and repairs
+// it.
+//
+// The invariant that makes the repair cheap and exact: the rank order is a
+// pure function of each candidate's (effective score, pattern key) pair.
+// Candidates whose effective score did not change since the previous cycle
+// therefore keep their relative order — the previous cycle's order
+// restricted to them is still sorted. Each cycle splits candidates into
+// that stable subsequence (O(n) to verify) and a moved set (score changed,
+// newly appeared, or hysteresis flipped), sorts only the moved set
+// (O(m log m), with cached pattern keys — no String() allocations), and
+// merges. The merged order is identical to what Decide's full sort would
+// produce, so the selection half (decideRanked) is shared verbatim and the
+// two engines return identical Decisions by construction — the property
+// the differential tests pin.
+//
+// Band > 0 trades exactness for stability under score jitter: scores are
+// quantized into multiplicative bands and candidates re-rank only when
+// they cross a band boundary (the hysteresis/damping-band idea applied to
+// rank maintenance). Band = 0 (the default) is exact and is the mode the
+// differential oracle runs.
+package decision
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rules"
+)
+
+// Incremental is a 2-level decision engine that maintains its ranking
+// across cycles. The zero value is not usable; call NewIncremental. Not
+// safe for concurrent use. Candidate patterns must be distinct within a
+// cycle (CandidatesFromReports guarantees this).
+type Incremental struct {
+	// Band quantizes ranking scores into multiplicative bands of this
+	// relative width (e.g. 0.1 = 10% bands): candidates re-rank only when
+	// crossing a band edge. 0 ranks by exact score — identical output to
+	// Decide.
+	Band float64
+
+	keys  map[rules.Pattern]string  // cached Pattern.String()
+	eff   map[rules.Pattern]float64 // this cycle's ranking scores
+	prev  map[rules.Pattern]float64 // previous cycle's ranking scores
+	order []rules.Pattern           // previous cycle's ranked patterns
+
+	// scratch, reused across cycles
+	cur    map[rules.Pattern]int
+	stable []rules.Pattern
+	moved  []rules.Pattern
+	merged []rules.Pattern
+	ranked []Candidate
+}
+
+// NewIncremental returns an empty engine. band is the score-band width
+// (0 = exact; see Incremental.Band).
+func NewIncremental(band float64) *Incremental {
+	return &Incremental{
+		Band: band,
+		keys: make(map[rules.Pattern]string),
+		eff:  make(map[rules.Pattern]float64),
+		prev: make(map[rules.Pattern]float64),
+		cur:  make(map[rules.Pattern]int),
+	}
+}
+
+// Reset drops all carried ranking state (controller failover, crash
+// adoption — anywhere the smoother/damper state is also rebuilt).
+func (inc *Incremental) Reset() {
+	clear(inc.keys)
+	clear(inc.eff)
+	clear(inc.prev)
+	clear(inc.cur)
+	inc.order = inc.order[:0]
+}
+
+// rankScore is the score candidates are ordered by: the effective
+// (hysteresis-adjusted) score, optionally quantized into bands.
+func (inc *Incremental) rankScore(cfg Config, c Candidate, offloaded map[rules.Pattern]bool) float64 {
+	s := effectiveScore(cfg, c, offloaded)
+	if inc.Band <= 0 || s <= 0 {
+		return s
+	}
+	// Multiplicative banding: scores within the same power of (1+Band)
+	// rank equal, so jitter inside a band never reorders.
+	b := math.Log1p(inc.Band)
+	return math.Exp(math.Floor(math.Log(s)/b) * b)
+}
+
+// Decide is the incremental counterpart of the package-level Decide:
+// identical semantics (and, with Band == 0, identical output), O(n + m
+// log m) ranking where m is the number of candidates whose ranking score
+// changed since the previous cycle. cfg may change freely between calls —
+// budget and hysteresis apply per cycle (a hysteresis change flips
+// effective scores and simply enlarges m).
+func (inc *Incremental) Decide(cfg Config, cands []Candidate, offloaded map[rules.Pattern]bool) Decision {
+	cfg = cfg.normalize()
+
+	clear(inc.cur)
+	clear(inc.eff)
+	for i, c := range cands {
+		p := c.Pattern
+		inc.cur[p] = i
+		inc.eff[p] = inc.rankScore(cfg, c, offloaded)
+		if _, ok := inc.keys[p]; !ok {
+			inc.keys[p] = p.String()
+		}
+	}
+
+	// Split the previous order into the stable subsequence (still live,
+	// score unchanged — sorted by construction) and the moved set.
+	inc.stable = inc.stable[:0]
+	inc.moved = inc.moved[:0]
+	for _, p := range inc.order {
+		if _, live := inc.cur[p]; !live {
+			continue
+		}
+		if s, ok := inc.prev[p]; ok && s == inc.eff[p] {
+			inc.stable = append(inc.stable, p)
+		} else {
+			inc.moved = append(inc.moved, p)
+		}
+	}
+	// Newly appeared candidates, in the caller's (deterministic) order.
+	if len(inc.cur) > len(inc.stable)+len(inc.moved) {
+		for _, c := range cands {
+			if _, seen := inc.prev[c.Pattern]; !seen {
+				inc.moved = append(inc.moved, c.Pattern)
+			}
+		}
+	}
+
+	less := func(a, b rules.Pattern) bool {
+		sa, sb := inc.eff[a], inc.eff[b]
+		if sa != sb {
+			return sa > sb
+		}
+		return inc.keys[a] < inc.keys[b]
+	}
+	sort.Slice(inc.moved, func(i, j int) bool { return less(inc.moved[i], inc.moved[j]) })
+
+	// Merge the two sorted runs.
+	inc.merged = inc.merged[:0]
+	i, j := 0, 0
+	for i < len(inc.stable) && j < len(inc.moved) {
+		if less(inc.moved[j], inc.stable[i]) {
+			inc.merged = append(inc.merged, inc.moved[j])
+			j++
+		} else {
+			inc.merged = append(inc.merged, inc.stable[i])
+			i++
+		}
+	}
+	inc.merged = append(inc.merged, inc.stable[i:]...)
+	inc.merged = append(inc.merged, inc.moved[j:]...)
+
+	inc.ranked = inc.ranked[:0]
+	for _, p := range inc.merged {
+		inc.ranked = append(inc.ranked, cands[inc.cur[p]])
+	}
+
+	// Carry this cycle's order and scores; prune the key cache if pattern
+	// churn has left it far larger than the live population.
+	inc.order = append(inc.order[:0], inc.merged...)
+	inc.prev, inc.eff = inc.eff, inc.prev
+	if len(inc.keys) > 4*len(cands)+1024 {
+		clear(inc.keys)
+		for _, c := range cands {
+			inc.keys[c.Pattern] = c.Pattern.String()
+		}
+	}
+
+	return decideRanked(cfg, inc.ranked, offloaded)
+}
+
+// IncrementalTiered is the incremental counterpart of DecideTiered: one
+// Incremental per rung (TCAM, and one per host NIC), same semantics, and
+// identical output with Band == 0. Not safe for concurrent use.
+type IncrementalTiered struct {
+	// Band is applied to every per-rung engine (see Incremental.Band).
+	Band float64
+
+	tcam  *Incremental
+	hosts map[int]*Incremental
+}
+
+// NewIncrementalTiered returns an empty N-level engine.
+func NewIncrementalTiered(band float64) *IncrementalTiered {
+	return &IncrementalTiered{
+		Band:  band,
+		tcam:  NewIncremental(band),
+		hosts: make(map[int]*Incremental),
+	}
+}
+
+// Reset drops all carried ranking state across every rung.
+func (it *IncrementalTiered) Reset() {
+	it.tcam.Reset()
+	clear(it.hosts)
+}
+
+// Decide mirrors DecideTiered: TCAM first (incremental), then one
+// incremental per-host NIC decision over the candidates the TCAM did not
+// take, with the same per-tenant quota pass.
+func (it *IncrementalTiered) Decide(cfg TieredConfig, cands []Candidate, offloaded map[rules.Pattern]bool,
+	nics map[int]NICState, hostOf func(rules.Pattern) (int, bool)) TieredDecision {
+
+	td := TieredDecision{TCAM: it.tcam.Decide(cfg.TCAM, cands, offloaded)}
+	if len(nics) == 0 {
+		return td
+	}
+	td.NIC = make(map[int]Decision, len(nics))
+
+	inTCAM := make(map[rules.Pattern]bool, len(td.TCAM.Offload))
+	for _, p := range td.TCAM.Offload {
+		inTCAM[p] = true
+	}
+
+	perHost := make(map[int][]Candidate)
+	for _, c := range cands {
+		if inTCAM[c.Pattern] {
+			continue
+		}
+		if h, ok := hostOf(c.Pattern); ok {
+			perHost[h] = append(perHost[h], c)
+		}
+	}
+
+	servers := make([]int, 0, len(nics))
+	for s := range nics {
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	for _, s := range servers {
+		st := nics[s]
+		eng := it.hosts[s]
+		if eng == nil {
+			eng = NewIncremental(it.Band)
+			it.hosts[s] = eng
+		}
+		d := eng.Decide(Config{
+			Budget:          st.Budget,
+			MinScore:        cfg.NICMinScore,
+			HysteresisRatio: cfg.NICHysteresisRatio,
+		}, perHost[s], st.Placed)
+		td.NIC[s] = applyQuota(d, cfg.NICTenantQuota, st.Placed)
+	}
+	return td
+}

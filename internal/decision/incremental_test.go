@@ -1,0 +1,240 @@
+package decision
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// churnStep mutates a candidate population the way demand cycles do:
+// smoothed scores drift, flows appear and vanish, epochs advance.
+func churnStep(rng *rand.Rand, cands []Candidate, pool []Candidate) []Candidate {
+	out := cands[:0]
+	for _, c := range cands {
+		switch rng.Intn(10) {
+		case 0: // flow went idle and was dropped
+			continue
+		case 1, 2, 3: // smoothed score moved
+			c.MedianPPS *= 0.5 + rng.Float64()
+			if c.ActiveEpochs < 1<<20 {
+				c.ActiveEpochs++
+			}
+		}
+		out = append(out, c)
+	}
+	// A few new arrivals from the pool.
+	for i := 0; i < rng.Intn(4); i++ {
+		c := pool[rng.Intn(len(pool))]
+		dup := false
+		for _, e := range out {
+			if e.Pattern == c.Pattern {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.MedianPPS = 1 + rng.Float64()*5000
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// applyDecision plays a Decision back onto the offloaded set, like the
+// rule manager does between cycles.
+func applyDecision(offloaded map[rules.Pattern]bool, d Decision) {
+	for _, p := range d.Demote {
+		delete(offloaded, p)
+	}
+	for _, p := range d.Offload {
+		offloaded[p] = true
+	}
+}
+
+// TestIncrementalMatchesDecideUnderChurn is the core equivalence
+// property: across many seeds and many cycles of score drift, arrivals,
+// departures, budget changes and hysteresis, the incremental engine (Band
+// 0) returns exactly what a from-scratch Decide returns, while both
+// engines' decisions feed back into their own offloaded sets.
+func TestIncrementalMatchesDecideUnderChurn(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		pool, _ := benchCandidates(96)
+		cands := append([]Candidate(nil), pool[:48]...)
+		inc := NewIncremental(0)
+		offExact := map[rules.Pattern]bool{}
+		offInc := map[rules.Pattern]bool{}
+		for cycle := 0; cycle < 60; cycle++ {
+			cfg := Config{
+				Budget:          8 + rng.Intn(24),
+				MinScore:        float64(rng.Intn(3)) * 50,
+				HysteresisRatio: 1 + rng.Float64(),
+			}
+			want := Decide(cfg, cands, offExact)
+			got := inc.Decide(cfg, cands, offInc)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d cycle %d: incremental diverged\nexact: %+v\nincr:  %+v", seed, cycle, want, got)
+			}
+			applyDecision(offExact, want)
+			applyDecision(offInc, got)
+			cands = churnStep(rng, cands, pool)
+		}
+	}
+}
+
+// TestIncrementalMatchesDecideWithGroups covers the all-or-nothing group
+// path (which the incremental engine reaches through the shared
+// decideRanked fold).
+func TestIncrementalMatchesDecideWithGroups(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(int64(100 + seed)))
+		pool, _ := benchCandidates(64)
+		cands := append([]Candidate(nil), pool[:40]...)
+		groups := [][]rules.Pattern{
+			{pool[0].Pattern, pool[1].Pattern, pool[2].Pattern},
+			{pool[10].Pattern, pool[11].Pattern},
+		}
+		inc := NewIncremental(0)
+		offExact := map[rules.Pattern]bool{}
+		offInc := map[rules.Pattern]bool{}
+		for cycle := 0; cycle < 40; cycle++ {
+			cfg := Config{Budget: 6 + rng.Intn(10), HysteresisRatio: 1.2, Groups: groups}
+			want := Decide(cfg, cands, offExact)
+			got := inc.Decide(cfg, cands, offInc)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d cycle %d (groups): incremental diverged\nexact: %+v\nincr:  %+v", seed, cycle, want, got)
+			}
+			applyDecision(offExact, want)
+			applyDecision(offInc, got)
+			cands = churnStep(rng, cands, pool)
+		}
+	}
+}
+
+// TestIncrementalTieredMatchesDecideTiered extends the equivalence to the
+// N-level ladder: TCAM + per-host NIC decisions with quotas, under NIC
+// budget churn and placement feedback.
+func TestIncrementalTieredMatchesDecideTiered(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	hostOf := func(p rules.Pattern) (int, bool) {
+		if p.SrcPort == 0 {
+			return 0, false
+		}
+		return int(p.SrcPort) % 4, true
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(200 + seed)))
+		pool, _ := benchCandidates(96)
+		cands := append([]Candidate(nil), pool[:64]...)
+		it := NewIncrementalTiered(0)
+		offExact := map[rules.Pattern]bool{}
+		offInc := map[rules.Pattern]bool{}
+		nicsExact := map[int]NICState{}
+		nicsInc := map[int]NICState{}
+		for h := 0; h < 4; h++ {
+			nicsExact[h] = NICState{Budget: 8, Placed: map[rules.Pattern]bool{}}
+			nicsInc[h] = NICState{Budget: 8, Placed: map[rules.Pattern]bool{}}
+		}
+		for cycle := 0; cycle < 40; cycle++ {
+			cfg := TieredConfig{
+				TCAM:               Config{Budget: 8 + rng.Intn(8), HysteresisRatio: 1.2},
+				NICMinScore:        10,
+				NICHysteresisRatio: 1.1,
+				NICTenantQuota:     3,
+			}
+			want := DecideTiered(cfg, cands, offExact, nicsExact, hostOf)
+			got := it.Decide(cfg, cands, offInc, nicsInc, hostOf)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d cycle %d: tiered incremental diverged\nexact: %+v\nincr:  %+v", seed, cycle, want, got)
+			}
+			applyDecision(offExact, want.TCAM)
+			applyDecision(offInc, got.TCAM)
+			for h, d := range want.NIC {
+				applyDecision(nicsExact[h].Placed, d)
+			}
+			for h, d := range got.NIC {
+				applyDecision(nicsInc[h].Placed, d)
+			}
+			cands = churnStep(rng, cands, pool)
+		}
+	}
+}
+
+// TestIncrementalResetForgetsState: after Reset the engine behaves like a
+// fresh one (failover/crash-adoption semantics).
+func TestIncrementalResetForgetsState(t *testing.T) {
+	pool, _ := benchCandidates(32)
+	cfg := Config{Budget: 8, HysteresisRatio: 1.2}
+	off := map[rules.Pattern]bool{}
+	inc := NewIncremental(0)
+	inc.Decide(cfg, pool, off)
+	inc.Reset()
+	fresh := NewIncremental(0)
+	if got, want := inc.Decide(cfg, pool, off), fresh.Decide(cfg, pool, off); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-Reset decision differs from a fresh engine: %+v vs %+v", got, want)
+	}
+}
+
+// TestIncrementalBandIsStableUnderJitter: with a nonzero band, score
+// jitter that stays inside a band never changes the decision (the
+// rank-maintenance analogue of the damper's suppress band), while a large
+// score move still does. Base scores sit at band centers so the jitter
+// cannot straddle an edge — banding guarantees stability within a band,
+// not at its boundaries.
+func TestIncrementalBandIsStableUnderJitter(t *testing.T) {
+	bw := math.Log1p(0.2)
+	var base []Candidate
+	for i := 0; i < 32; i++ {
+		base = append(base, Candidate{
+			Pattern:      patT(packet.TenantID(1+i%8), uint16(1000+i)),
+			ActiveEpochs: 1,
+			MedianPPS:    math.Exp((float64(10+i) + 0.5) * bw),
+			Priority:     1,
+		})
+	}
+	cfg := Config{Budget: 8, HysteresisRatio: 1}
+	inc := NewIncremental(0.2)
+	off := map[rules.Pattern]bool{}
+	first := inc.Decide(cfg, base, off)
+	rng := rand.New(rand.NewSource(3))
+	for cycle := 0; cycle < 20; cycle++ {
+		jittered := append([]Candidate(nil), base...)
+		for i := range jittered {
+			jittered[i].MedianPPS *= 1 + (rng.Float64()-0.5)*0.02 // ±1% ≪ 20% band
+		}
+		if got := inc.Decide(cfg, jittered, off); !reflect.DeepEqual(first.Offload, got.Offload) {
+			t.Fatalf("cycle %d: sub-band jitter changed the decision", cycle)
+		}
+	}
+	// A 100× surge on a previously-unselected candidate must re-rank.
+	surged := append([]Candidate(nil), base...)
+	worst := 0
+	for i := range surged {
+		if surged[i].Score() < surged[worst].Score() {
+			worst = i
+		}
+	}
+	surged[worst].MedianPPS *= 100
+	surged[worst].ActiveEpochs += 10
+	got := inc.Decide(cfg, surged, off)
+	found := false
+	for _, p := range got.Offload {
+		if p == surged[worst].Pattern {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("a 100x surge did not re-rank the candidate into the offload set")
+	}
+}

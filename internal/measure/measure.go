@@ -58,6 +58,24 @@ type Reading struct {
 // the ToR TCAM).
 type Source func() []Reading
 
+// PatternReading is one statistics bucket's cumulative counters at a
+// sampling instant — counters already keyed by pattern, the shape the
+// sketch accountant reports in.
+type PatternReading struct {
+	Pattern rules.Pattern
+	Packets uint64
+	Bytes   uint64
+}
+
+// PatternSource provides cumulative counters already aggregated per
+// pattern (the sketch accountant's top-k). When set on an Engine it
+// replaces the per-flow Source: the engine skips its own keyFor
+// aggregation and feeds the buckets directly into the same two-sample
+// Δ/gap rate pipeline, so everything downstream (windows, medians,
+// activity gc, report emission) is byte-identical between the two feeds
+// whenever the cumulative totals are.
+type PatternSource func() []PatternReading
+
 // sample is one epoch's rate measurement for one aggregate.
 type sample struct {
 	pps, bps float64
@@ -81,6 +99,8 @@ type Engine struct {
 	cfg Config
 	eng *sim.Engine
 	src Source
+	// patSrc, when non-nil, overrides src (see PatternSource).
+	patSrc PatternSource
 
 	flows map[rules.Pattern]*flowState
 	epoch uint32
@@ -129,6 +149,10 @@ func New(eng *sim.Engine, cfg Config, src Source) *Engine {
 	return &Engine{cfg: cfg, eng: eng, src: src, flows: make(map[rules.Pattern]*flowState)}
 }
 
+// SetPatternSource switches the engine to a pre-aggregated feed (sketch
+// accounting). Call before Start.
+func (m *Engine) SetPatternSource(src PatternSource) { m.patSrc = src }
+
 // Start begins periodic measurement.
 func (m *Engine) Start() {
 	m.stopped = false
@@ -175,10 +199,19 @@ func (m *Engine) takeSample(first bool) {
 	m.Samples++
 	// Accumulate cumulative counters per aggregate bucket.
 	acc := make(map[rules.Pattern][2]uint64)
-	for _, r := range m.src() {
-		for _, pat := range m.keyFor(r.Key) {
-			cur := acc[pat]
-			acc[pat] = [2]uint64{cur[0] + r.Packets, cur[1] + r.Bytes}
+	if m.patSrc != nil {
+		// Pre-aggregated feed: buckets arrive keyed; sum duplicates (shard
+		// reports may repeat a pattern) and skip keyFor.
+		for _, r := range m.patSrc() {
+			cur := acc[r.Pattern]
+			acc[r.Pattern] = [2]uint64{cur[0] + r.Packets, cur[1] + r.Bytes}
+		}
+	} else {
+		for _, r := range m.src() {
+			for _, pat := range m.keyFor(r.Key) {
+				cur := acc[pat]
+				acc[pat] = [2]uint64{cur[0] + r.Packets, cur[1] + r.Bytes}
+			}
 		}
 	}
 	for pat, v := range acc {

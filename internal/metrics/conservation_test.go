@@ -101,6 +101,25 @@ func TestNICCountersAddCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestSketchCountersAddCoversEveryField extends the conservation law to
+// the streaming flow-accounting counters: Add must double every field,
+// element-wise, so per-shard aggregation never silently drops a counter.
+func TestSketchCountersAddCoversEveryField(t *testing.T) {
+	var c SketchCounters
+	_, n := fillStruct(t, reflect.ValueOf(&c).Elem())
+	if n == 0 {
+		t.Fatal("SketchCounters has no uint64 fields?")
+	}
+	sum := c.Add(c)
+	cv, sv := reflect.ValueOf(c), reflect.ValueOf(sum)
+	for i := 0; i < cv.NumField(); i++ {
+		if sv.Field(i).Uint() != 2*cv.Field(i).Uint() {
+			t.Errorf("SketchCounters.Add mangles field %s: %d -> %d",
+				cv.Type().Field(i).Name, cv.Field(i).Uint(), sv.Field(i).Uint())
+		}
+	}
+}
+
 // TestNICCountersHitRateUsesHitsMissesThrottled pins the NIC hit-rate
 // denominator: every lookup outcome (hit, miss, throttle) counts as an
 // attempt, so the rate reflects how much traffic the tier actually

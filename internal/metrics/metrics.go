@@ -13,9 +13,10 @@ import (
 )
 
 // Histogram accumulates duration samples and reports average and
-// percentiles. It keeps raw samples (the experiment scales here are small
+// percentiles. It keeps raw samples: the experiment scales here are small
 // enough that exact percentiles are affordable and simpler to trust than a
-// sketch).
+// sketch. (Flow accounting at scale is a different story — see
+// internal/sketch and SketchCounters below.)
 type Histogram struct {
 	samples []time.Duration
 	sum     time.Duration
@@ -267,6 +268,42 @@ func (n NICCounters) Add(o NICCounters) NICCounters {
 func (n NICCounters) String() string {
 	return fmt.Sprintf("hits=%d misses=%d throttled=%d installs=%d removes=%d rejects=%d",
 		n.Hits, n.Misses, n.Throttled, n.Installs, n.Removes, n.Rejects)
+}
+
+// SketchCounters is the observability surface of the streaming
+// flow-accounting subsystem (internal/sketch): data-path sketch updates,
+// space-saving takeovers, decay rounds, shard merges, and emitted top-k
+// reports. Counters only ever increase.
+type SketchCounters struct {
+	// Updates counts Observe calls accounted into the sketches.
+	Updates uint64
+	// Evictions counts space-saving takeovers: monitored patterns
+	// displaced by newcomers once the top-k structure filled.
+	Evictions uint64
+	// Decays counts per-epoch multiplicative decay rounds applied.
+	Decays uint64
+	// Merges counts shard-sketch merges performed at report time.
+	Merges uint64
+	// Reports counts top-k heavy-hitter reports produced.
+	Reports uint64
+}
+
+// Add returns the element-wise sum — aggregating per-shard counters into a
+// per-host (or cluster) view.
+func (s SketchCounters) Add(o SketchCounters) SketchCounters {
+	return SketchCounters{
+		Updates:   s.Updates + o.Updates,
+		Evictions: s.Evictions + o.Evictions,
+		Decays:    s.Decays + o.Decays,
+		Merges:    s.Merges + o.Merges,
+		Reports:   s.Reports + o.Reports,
+	}
+}
+
+// String renders the counters for logs and experiment tables.
+func (s SketchCounters) String() string {
+	return fmt.Sprintf("updates=%d evict=%d decays=%d merges=%d reports=%d",
+		s.Updates, s.Evictions, s.Decays, s.Merges, s.Reports)
 }
 
 // Gbps converts a byte count over an interval to gigabits per second.

@@ -1,0 +1,99 @@
+package openflow
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+// FuzzDecode throws arbitrary bytes at the frame decoder: it must never
+// panic or over-allocate, only return an error or a valid message.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(&DemandReport{ServerID: 1}, 7))
+	f.Add(Encode(&DemandReport{
+		Entries: []DemandEntry{{Pattern: samplePattern(), PPS: 100}},
+		Sketch:  &SketchMeta{TopK: 16, Width: 32, Depth: 2, Floor: 5},
+	}, 9))
+	f.Add(Encode(&FlowMod{Pattern: samplePattern()}, 3))
+	f.Add([]byte{Version, 200, 0, 9, 0, 0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, _, n, err := Decode(data)
+		if err == nil {
+			if msg == nil || n <= 0 || n > len(data) {
+				t.Fatalf("successful decode with msg=%v n=%d len=%d", msg, n, len(data))
+			}
+		}
+	})
+}
+
+// FuzzChunkDemandReport builds a sketch-mode demand report from fuzzed
+// dimensions, chunks it, encodes every chunk, and checks the reassembled
+// report matches the original — the exact path a top-k report takes from
+// local controller to TOR.
+func FuzzChunkDemandReport(f *testing.F) {
+	f.Add(uint16(3), uint16(1), uint64(9), true)
+	f.Add(uint16(2100), uint16(4), uint64(0), true)
+	f.Add(uint16(900), uint16(0), uint64(12345), false)
+	f.Fuzz(func(t *testing.T, entries, splits uint16, floor uint64, withSketch bool) {
+		if entries > 4000 {
+			entries = entries % 4000
+		}
+		if splits > 64 {
+			splits = splits % 64
+		}
+		rep := DemandReport{ServerID: 2, Interval: 5, NICFree: uint32(splits)}
+		for i := 0; i < int(entries); i++ {
+			k := packet.FlowKey{
+				Tenant: packet.TenantID(1 + i%5), Src: packet.IP(i), Dst: packet.IP(i * 7),
+				SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP,
+			}
+			rep.Entries = append(rep.Entries, DemandEntry{
+				Pattern: rules.ExactPattern(k), PPS: float64(i), MedianPPS: float64(i) / 2,
+				ActiveEpochs: uint32(1 + i%3),
+			})
+		}
+		for i := 0; i < int(splits); i++ {
+			rep.Splits = append(rep.Splits, RateSplit{Tenant: packet.TenantID(i), EgressSoftBps: float64(i)})
+		}
+		if withSketch {
+			rep.Sketch = &SketchMeta{TopK: uint32(entries), Width: 2048, Depth: 4, Floor: floor, Evictions: floor / 2}
+		}
+
+		var got DemandReport
+		for i, ch := range ChunkDemandReport(rep) {
+			msg, _, _, err := Decode(Encode(&ch, uint32(i)))
+			if err != nil {
+				t.Fatalf("chunk %d failed round trip: %v", i, err)
+			}
+			d := msg.(*DemandReport)
+			if i == 0 {
+				got = *d
+			} else {
+				if d.Sketch != nil || d.Splits != nil || d.NICPatterns != nil {
+					t.Fatalf("chunk %d carries first-chunk-only sections", i)
+				}
+				got.Entries = append(got.Entries, d.Entries...)
+			}
+		}
+		got.ServerID, got.Interval, got.NICFree = rep.ServerID, rep.Interval, rep.NICFree
+		if !reflect.DeepEqual(normalizeRep(got), normalizeRep(rep)) {
+			t.Fatal("reassembled report differs from original")
+		}
+	})
+}
+
+// normalizeRep maps empty slices to nil so DeepEqual compares content.
+func normalizeRep(r DemandReport) DemandReport {
+	if len(r.Entries) == 0 {
+		r.Entries = nil
+	}
+	if len(r.Splits) == 0 {
+		r.Splits = nil
+	}
+	if len(r.NICPatterns) == 0 {
+		r.NICPatterns = nil
+	}
+	return r
+}

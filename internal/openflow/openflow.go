@@ -341,6 +341,26 @@ type DemandReport struct {
 	// chunk only (like Splits) and are absent from legacy bodies.
 	NICFree     uint32
 	NICPatterns []rules.Pattern
+	// Sketch carries the streaming-accounting metadata when the sender
+	// runs sketch mode (nil in exact mode and in legacy bodies): the
+	// sketch dimensions plus the space-saving floor, which bounds the
+	// demand any pattern absent from the report can be hiding. Rides on
+	// the first chunk only, like Splits.
+	Sketch *SketchMeta
+}
+
+// SketchMeta describes the bounded-memory accounting behind a sketch-mode
+// demand report (see internal/sketch).
+type SketchMeta struct {
+	// TopK, Width and Depth are the sender's sketch dimensions.
+	TopK, Width, Depth uint32
+	// Floor is the minimum monitored packet count: any pattern missing
+	// from the report has true count ≤ Floor. 0 means the report is
+	// exhaustive (the top-k never filled).
+	Floor uint64
+	// Evictions counts top-k takeovers since the accountant started —
+	// nonzero means the live pattern population exceeded TopK.
+	Evictions uint64
 }
 
 // Type implements Message.
@@ -364,6 +384,16 @@ func (m *DemandReport) marshalBody(b *buffer) {
 	b.u32(uint32(len(m.NICPatterns)))
 	for _, p := range m.NICPatterns {
 		marshalPattern(b, p)
+	}
+	if m.Sketch != nil {
+		b.u8(1)
+		b.u32(m.Sketch.TopK)
+		b.u32(m.Sketch.Width)
+		b.u32(m.Sketch.Depth)
+		b.u64(m.Sketch.Floor)
+		b.u64(m.Sketch.Evictions)
+	} else {
+		b.u8(0)
 	}
 }
 
@@ -405,6 +435,18 @@ func (m *DemandReport) unmarshalBody(r *reader) error {
 		m.NICPatterns = make([]rules.Pattern, np)
 		for i := range m.NICPatterns {
 			m.NICPatterns[i] = unmarshalPattern(r)
+		}
+	}
+	if r.remaining() == 0 {
+		return r.err // body without the sketch section
+	}
+	if r.u8() != 0 {
+		m.Sketch = &SketchMeta{
+			TopK:      r.u32(),
+			Width:     r.u32(),
+			Depth:     r.u32(),
+			Floor:     r.u64(),
+			Evictions: r.u64(),
 		}
 	}
 	return r.err
@@ -959,6 +1001,7 @@ func ChunkDemandReport(rep DemandReport) []DemandReport {
 			chunk.Splits = rep.Splits
 			chunk.NICFree = rep.NICFree
 			chunk.NICPatterns = rep.NICPatterns
+			chunk.Sketch = rep.Sketch
 		}
 		out = append(out, chunk)
 	}

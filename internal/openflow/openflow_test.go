@@ -40,6 +40,7 @@ func TestEncodeDecodeAllTypes(t *testing.T) {
 			}},
 			Splits: []RateSplit{{Tenant: 7, VMIP: packet.MustParseIP("10.0.0.1"),
 				EgressSoftBps: 1e8, EgressHardBps: 9e8, IngressSoftBps: 2e8, IngressHardBps: 8e8}},
+			Sketch: &SketchMeta{TopK: 1024, Width: 2048, Depth: 4, Floor: 77, Evictions: 12},
 		},
 		&OffloadDecision{Interval: 9,
 			Actions: []OffloadAction{{Pattern: samplePattern(), Offload: true}},
@@ -286,5 +287,62 @@ func TestChunkDemandReport(t *testing.T) {
 	small := DemandReport{Entries: make([]DemandEntry, 5)}
 	if got := ChunkDemandReport(small); len(got) != 1 {
 		t.Errorf("small report chunked into %d", len(got))
+	}
+}
+
+// TestChunkDemandReportSketchMeta: sketch metadata rides the first chunk
+// only, and every chunk of a sketch-mode report round-trips on the wire.
+func TestChunkDemandReportSketchMeta(t *testing.T) {
+	rep := DemandReport{ServerID: 4, Interval: 9,
+		Sketch: &SketchMeta{TopK: 2048, Width: 4096, Depth: 4, Floor: 31, Evictions: 5},
+	}
+	for i := 0; i < 2100; i++ {
+		rep.Entries = append(rep.Entries, DemandEntry{PPS: float64(i)})
+	}
+	for i, ch := range ChunkDemandReport(rep) {
+		if i == 0 && !reflect.DeepEqual(ch.Sketch, rep.Sketch) {
+			t.Error("sketch meta missing from first chunk")
+		}
+		if i > 0 && ch.Sketch != nil {
+			t.Error("sketch meta duplicated on later chunk")
+		}
+		got, _, _, err := Decode(Encode(&ch, 1))
+		if err != nil {
+			t.Fatalf("chunk %d: decode: %v", i, err)
+		}
+		want := ch
+		if !reflect.DeepEqual(got, &want) {
+			t.Errorf("chunk %d: round trip mismatch", i)
+		}
+	}
+}
+
+// TestDemandReportLegacyBodyTails pins the optional-tail compatibility:
+// bodies truncated before the NIC and sketch sections still decode, with
+// the absent sections zero.
+func TestDemandReportLegacyBodyTails(t *testing.T) {
+	full := &DemandReport{ServerID: 1, Interval: 2,
+		Entries: []DemandEntry{{Pattern: samplePattern(), PPS: 10}},
+		Sketch:  &SketchMeta{TopK: 8, Floor: 3},
+	}
+	wire := Encode(full, 7)
+	// The sketch tail is 1 flag byte + 3×u32 + 2×u64 = 29 bytes; the NIC
+	// tail before it is 2×u32 = 8 bytes (no patterns). Truncate each off,
+	// fixing up the frame length.
+	for _, cut := range []int{29, 29 + 8} {
+		trunc := append([]byte(nil), wire[:len(wire)-cut]...)
+		trunc[2] = byte(len(trunc) >> 8)
+		trunc[3] = byte(len(trunc))
+		msg, _, _, err := Decode(trunc)
+		if err != nil {
+			t.Fatalf("legacy body (cut %d) rejected: %v", cut, err)
+		}
+		got := msg.(*DemandReport)
+		if got.Sketch != nil {
+			t.Errorf("cut %d: sketch meta materialized from a legacy body", cut)
+		}
+		if len(got.Entries) != 1 || got.Entries[0].PPS != 10 {
+			t.Errorf("cut %d: entries corrupted: %+v", cut, got.Entries)
+		}
 	}
 }

@@ -133,6 +133,10 @@ const (
 	// fell back to the software path (Cause = tcam/nic/placer/hw-stale,
 	// V1 = rules expired).
 	KindLeaseExpire
+	// KindSketchReport: a local controller emitted a sketch-derived
+	// top-k demand report (V1 = patterns reported, V2 = space-saving
+	// floor — the demand bound on anything the report omits).
+	KindSketchReport
 
 	numKinds
 )
@@ -173,6 +177,7 @@ var kindNames = [numKinds]string{
 	KindElection:        "election",
 	KindFenceReject:     "fence-reject",
 	KindLeaseExpire:     "lease-expire",
+	KindSketchReport:    "sketch-report",
 }
 
 // String returns the stable wire name of the kind (used in exports and

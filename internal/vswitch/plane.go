@@ -28,6 +28,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/ratelimit"
 	"repro/internal/rules"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 )
 
@@ -209,6 +210,22 @@ func (pl *ShardedPlane) Inline() bool { return pl.inline }
 
 // EpochSeq returns the current published epoch sequence.
 func (pl *ShardedPlane) EpochSeq() uint64 { return pl.pub.Load().Seq }
+
+// EnableSketch attaches one accountant shard to each plane shard: every
+// classified packet is then Observe()d on the owning shard's sketch with
+// no cross-shard synchronization. The accountant must have been built
+// with New(cfg, pl.Shards()); reading merged estimates follows the same
+// quiescence contract as FlowSnapshot (after Barrier or Close, or in
+// inline mode). Call before submitting traffic — shards read sk without
+// locks.
+func (pl *ShardedPlane) EnableSketch(acct *sketch.Accountant) {
+	if acct.Shards() != len(pl.shards) {
+		panic("vswitch: accountant shard count must match plane shards")
+	}
+	for i, sh := range pl.shards {
+		sh.sk = acct.Shard(i)
+	}
+}
 
 // buildTables compiles the control-plane state into an immutable
 // snapshot. Caller holds mu (or has exclusive access at construction).

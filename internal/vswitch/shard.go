@@ -8,6 +8,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/ratelimit"
 	"repro/internal/rules"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 	"repro/internal/tunnel"
 )
@@ -117,6 +118,12 @@ type planeShard struct {
 	// rec is set only in inline mode (SetRecorder); worker shards leave
 	// it nil because Recorder event sequencing is single-goroutine.
 	rec *telemetry.Scoped
+
+	// sk, when non-nil (ShardedPlane.EnableSketch), receives every
+	// classified packet's (1 pkt, wire bytes) accrual. Owned exclusively
+	// by this shard's goroutine; merged reads follow the FlowSnapshot
+	// quiescence contract.
+	sk *sketch.ShardSketch
 }
 
 func newPlaneShard(pl *ShardedPlane, id int) *planeShard {
@@ -197,6 +204,9 @@ func (sh *planeShard) process(v *packet.Vector) {
 		if f, ok := sh.exact[k]; ok {
 			f.pkts++
 			f.bytes += uint64(pkts[i].WireLen())
+			if sh.sk != nil {
+				sh.sk.Observe(k, 1, uint64(pkts[i].WireLen()))
+			}
 			sh.verdicts[i] = f.v
 			sh.rec.Hit(telemetry.KindExactHit, k.Tenant, k)
 			continue
@@ -210,6 +220,9 @@ func (sh *planeShard) process(v *packet.Vector) {
 			sh.rec.Hit(telemetry.KindMegaflowHit, k.Tenant, k)
 		}
 		sh.exact[k] = &planeFlow{v: fv, pkts: 1, bytes: uint64(pkts[i].WireLen())}
+		if sh.sk != nil {
+			sh.sk.Observe(k, 1, uint64(pkts[i].WireLen()))
+		}
 		sh.verdicts[i] = fv
 	}
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ratelimit"
 	"repro/internal/rules"
 	"repro/internal/sim"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 	"repro/internal/tunnel"
 )
@@ -102,6 +103,12 @@ type Switch struct {
 	// this switch's rule state (see plane.go). Control-plane mutators
 	// republish epochs through it so rule updates never race the shards.
 	plane *ShardedPlane
+
+	// sk, when non-nil, receives every fast-path accrual (sketch
+	// accounting mode): the same per-packet (segments, wire bytes)
+	// increments the exact-cache statistics get, so sketch totals track
+	// the exact counters packet for packet.
+	sk *sketch.ShardSketch
 
 	upcalls       uint64
 	upcallsServed uint64
@@ -343,8 +350,7 @@ func (s *Switch) OutputFromVM(key VMKey, p *packet.Packet) {
 // accounting.
 func (s *Switch) classify(vp *vport, k packet.FlowKey, p *packet.Packet, then func(fpVerdict)) {
 	if e := s.fastpath.Lookup(k); e != nil {
-		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
-		bumpSegments(e, p)
+		s.accrue(e, k, p)
 		if s.rec != nil {
 			s.rec.Hit(telemetry.KindExactHit, k.Tenant, k)
 		}
@@ -353,8 +359,7 @@ func (s *Switch) classify(vp *vport, k packet.FlowKey, p *packet.Packet, then fu
 	}
 	if v, ok := s.mega.lookup(k, s.eng.Now()); ok {
 		e := s.fastpath.Install(k, v)
-		e.Stats.Hit(wireSegBytes(p), s.eng.Now())
-		bumpSegments(e, p)
+		s.accrue(e, k, p)
 		if s.rec != nil {
 			s.rec.Hit(telemetry.KindMegaflowHit, k.Tenant, k)
 			s.rec.Emit(telemetry.KindExactInstall, k.Tenant, k, "megaflow", 0, 0)
@@ -366,8 +371,7 @@ func (s *Switch) classify(vp *vport, k packet.FlowKey, p *packet.Packet, then fu
 	// Concurrent misses for the same flow coalesce onto the pending scan.
 	waiter := func(v fpVerdict) {
 		if e := s.fastpath.Lookup(k); e != nil {
-			e.Stats.Hit(wireSegBytes(p), s.eng.Now())
-			bumpSegments(e, p)
+			s.accrue(e, k, p)
 		}
 		then(v)
 	}
@@ -457,6 +461,26 @@ func (s *Switch) overloadEval() {
 		if s.OnOverload != nil {
 			s.OnOverload(sig)
 		}
+	}
+}
+
+// EnableSketch routes every fast-path accrual into sk in addition to the
+// exact-cache statistics. Call before traffic starts; the slow path runs
+// single-threaded on the simulator loop, so no locking is needed.
+func (s *Switch) EnableSketch(sk *sketch.ShardSketch) { s.sk = sk }
+
+// accrue charges one packet to the exact-cache entry (wire bytes plus TSO
+// segment count) and mirrors the identical increment into the sketch when
+// sketch accounting is enabled, so sketch totals equal Stats totals.
+func (s *Switch) accrue(e *rules.ExactEntry[fpVerdict], k packet.FlowKey, p *packet.Packet) {
+	e.Stats.Hit(wireSegBytes(p), s.eng.Now())
+	bumpSegments(e, p)
+	if s.sk != nil {
+		segs := uint64(model.Segments(p.PayloadLen()))
+		if segs == 0 {
+			segs = 1
+		}
+		s.sk.Observe(k, segs, uint64(wireSegBytes(p)))
 	}
 }
 

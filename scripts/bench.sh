@@ -12,7 +12,9 @@
 #   internal/packet   pooled AppendMarshal vs allocate-per-packet
 #   internal/tunnel   pooled encap vs seed-style encap
 #   internal/smartnic SmartNIC match-action lookup (hit/miss/update)
-#   internal/decision 2-level Decide vs N-level DecideTiered
+#   internal/decision 2-level Decide vs N-level DecideTiered, and full
+#                     re-sort vs incremental re-rank at 10k candidates
+#   internal/sketch   count-min/space-saving update, shard observe, merge
 #
 # BENCH_BASELINE.txt is the raw `go test -bench` text (benchstat input);
 # BENCH_BASELINE.json is the stable machine-readable form produced by
@@ -22,7 +24,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PKGS="./internal/rules ./internal/vswitch ./internal/packet ./internal/tunnel ./internal/smartnic ./internal/decision"
+PKGS="./internal/rules ./internal/vswitch ./internal/packet ./internal/tunnel ./internal/smartnic ./internal/decision ./internal/sketch"
 COUNT="${BENCH_COUNT:-1}"
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT

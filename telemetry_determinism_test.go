@@ -208,6 +208,107 @@ func TestTelemetryTieredExportsAreDeterministic(t *testing.T) {
 	}
 }
 
+// runTracedSketchScenario is the streaming-accounting variant: demand
+// measured through the count-min + space-saving accountant and decided
+// through the incremental re-rank engine, so the run produces
+// sketch-report events alongside the standard machinery's.
+func runTracedSketchScenario(t *testing.T, seed int64) (trace, prom, csv []byte) {
+	t.Helper()
+	d, err := NewDeployment(Options{Servers: 3, TCAMCapacity: 8, Seed: seed,
+		SketchAccounting: true, SketchTopK: 128,
+		Controller: ControllerOptions{Epoch: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := d.EnableTelemetry(TelemetryOptions{SampleInterval: 50 * time.Millisecond})
+
+	type pair struct{ c, s *host.VM }
+	var pairs []pair
+	for i, spec := range []struct {
+		tenant uint32
+		cIP    string
+		sIP    string
+	}{
+		{7, "10.7.0.1", "10.7.0.2"},
+		{8, "10.8.0.1", "10.8.0.2"},
+	} {
+		c, err := d.AddVM(i%3, spec.tenant, spec.cIP, VMOptions{VCPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.AddVM((i+1)%3, spec.tenant, spec.sIP, VMOptions{VCPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.BindApp(9000, host.AppFunc(func(vm *host.VM, p *packet.Packet) {
+			vm.Send(p.IP.Src, 9000, p.TCP.SrcPort, 256, host.SendOptions{Seq: p.Meta.Seq}, nil)
+		}))
+		pairs = append(pairs, pair{c, s})
+	}
+	for i, p := range pairs {
+		p := p
+		period := time.Millisecond << uint(i) // different rates per tenant
+		d.Cluster.Eng.Every(period, func() {
+			p.c.Send(p.s.Key.IP, 40000, 9000, 128, host.SendOptions{}, nil)
+		})
+	}
+
+	d.Start()
+	d.Run(1500 * time.Millisecond)
+	d.Stop()
+
+	var tb, pb, cb bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&tb, tel.Recorder, tel.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WritePrometheus(&pb, tel.Registry); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteSeriesCSV(&cb, tel.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), pb.Bytes(), cb.Bytes()
+}
+
+// TestTelemetrySketchExportsAreDeterministic extends the determinism
+// guard to sketch accounting mode: with the accountant feeding the ME and
+// the incremental engine ranking, two same-seed runs must still hash
+// identically, and the trace must actually contain sketch-report events
+// (otherwise the guard is vacuous).
+func TestTelemetrySketchExportsAreDeterministic(t *testing.T) {
+	t1, p1, c1 := runTracedSketchScenario(t, 42)
+	t2, p2, c2 := runTracedSketchScenario(t, 42)
+	for _, x := range []struct {
+		name string
+		a, b []byte
+	}{{"trace", t1, t2}, {"prometheus", p1, p2}, {"csv", c1, c2}} {
+		ha, hb := sha256.Sum256(x.a), sha256.Sum256(x.b)
+		if ha != hb {
+			t.Errorf("sketch %s export is not deterministic: %x != %x (lens %d, %d)",
+				x.name, ha[:8], hb[:8], len(x.a), len(x.b))
+		}
+	}
+	events, _, err := telemetry.ReadChromeTrace(bytes.NewReader(t1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, te := range events {
+		if te.Args != nil {
+			seen[te.Args.Kind] = true
+		}
+	}
+	for _, kind := range []string{"sketch-report", "offload-decision"} {
+		if !seen[kind] {
+			t.Errorf("trace is missing %q events; sketch accounting is not being recorded", kind)
+		}
+	}
+	t3, _, _ := runTracedSketchScenario(t, 43)
+	if bytes.Equal(t1, t3) {
+		t.Error("sketch trace export is seed-independent; the recorder is not seeing the run")
+	}
+}
+
 // TestTelemetryTraceIsCausal checks the acceptance ordering on the
 // migrated tenant's hot flow: upcall -> offload-decision -> tcam-install
 // -> migration-start appear in increasing global sequence order.
