@@ -1,0 +1,285 @@
+// Command fastrak-ctl is the operator CLI for the FasTrak daemons. It
+// speaks the admin HTTP/JSON API of fastrak-tord and fastrak-agentd;
+// both share the protocol, so -addr just points at whichever daemon owns
+// the resource.
+//
+// Usage:
+//
+//	fastrak-ctl -addr HOST:PORT [-json] COMMAND [args]
+//
+// Commands:
+//
+//	health                          daemon role, clock, attached agents
+//	tenant add -tenant N -ip IP [-vcpus N] [-egress BPS] [-ingress BPS]
+//	tenant rm  -tenant N -ip IP
+//	tenant list
+//	rules list                      installed TCAM entries with counters
+//	rules pin|unpin -tenant N [-src IP] [-dst IP] [-src-port P] [-dst-port P] [-proto P]
+//	placements                      offload machinery state
+//	metrics                         raw Prometheus exposition text
+//	series                          sampler time series as CSV
+//	traffic -tenant N -src IP -dst IP -src-port P -dst-port P [-pps N] [-size B] [-duration D]
+//
+// -json prints raw API responses for scripting; the default is a table.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/adminapi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9653", "daemon admin address")
+	asJSON := flag.Bool("json", false, "print raw JSON responses")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: "http://" + *addr, json: *asJSON}
+	var err error
+	switch args[0] {
+	case "health":
+		err = c.health()
+	case "tenant":
+		err = c.tenant(args[1:])
+	case "rules":
+		err = c.rules(args[1:])
+	case "placements":
+		err = c.placements()
+	case "metrics":
+		err = c.raw("/metrics")
+	case "series":
+		err = c.raw("/series.csv")
+	case "traffic":
+		err = c.traffic(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "fastrak-ctl: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastrak-ctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fastrak-ctl -addr HOST:PORT [-json] COMMAND
+commands: health | tenant add|rm|list | rules list|pin|unpin | placements | metrics | series | traffic`)
+}
+
+type client struct {
+	base string
+	json bool
+}
+
+func (c *client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e adminapi.ErrorReply
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s", e.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if c.json {
+		os.Stdout.Write(raw)
+		if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+			fmt.Println()
+		}
+		return nil
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+func (c *client) raw(path string) error {
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func table(write func(w *tabwriter.Writer)) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	write(w)
+	w.Flush()
+}
+
+func (c *client) health() error {
+	var h adminapi.Health
+	if err := c.do("GET", "/healthz", nil, &h); err != nil || c.json {
+		return err
+	}
+	fmt.Printf("role: %s\nnow: %s\n", h.Role, time.Duration(h.NowUS)*time.Microsecond)
+	if h.Role == "tord" {
+		fmt.Printf("agents: %v\n", h.Agents)
+	} else {
+		fmt.Printf("server: %d\nconnected: %v\n", h.ServerID, h.Connected != nil && *h.Connected)
+	}
+	return nil
+}
+
+func (c *client) tenant(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("tenant add|rm|list")
+	}
+	switch args[0] {
+	case "add":
+		fs := flag.NewFlagSet("tenant add", flag.ExitOnError)
+		tenant := fs.Uint("tenant", 0, "tenant id")
+		ip := fs.String("ip", "", "VM IP")
+		vcpus := fs.Int("vcpus", 0, "vCPUs (default 4)")
+		egress := fs.Float64("egress", 0, "purchased egress bps")
+		ingress := fs.Float64("ingress", 0, "purchased ingress bps")
+		fs.Parse(args[1:])
+		return c.do("POST", "/v1/vms", adminapi.VMRequest{
+			Tenant: uint32(*tenant), IP: *ip, VCPUs: *vcpus,
+			EgressBps: *egress, IngressBps: *ingress,
+		}, nil)
+	case "rm":
+		fs := flag.NewFlagSet("tenant rm", flag.ExitOnError)
+		tenant := fs.Uint("tenant", 0, "tenant id")
+		ip := fs.String("ip", "", "VM IP")
+		fs.Parse(args[1:])
+		return c.do("DELETE", "/v1/vms", adminapi.VMKeySpec{Tenant: uint32(*tenant), IP: *ip}, nil)
+	case "list":
+		var vms []adminapi.VMInfo
+		if err := c.do("GET", "/v1/vms", nil, &vms); err != nil || c.json {
+			return err
+		}
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "TENANT\tIP\tVCPUS")
+			for _, vm := range vms {
+				fmt.Fprintf(w, "%d\t%s\t%d\n", vm.Tenant, vm.IP, vm.VCPUs)
+			}
+		})
+		return nil
+	}
+	return fmt.Errorf("tenant add|rm|list")
+}
+
+func patternFlags(fs *flag.FlagSet) func() adminapi.PatternSpec {
+	tenant := fs.Uint("tenant", 0, "tenant id")
+	src := fs.String("src", "", "source IP")
+	dst := fs.String("dst", "", "destination IP")
+	srcPort := fs.Uint("src-port", 0, "source port")
+	dstPort := fs.Uint("dst-port", 0, "destination port")
+	proto := fs.Uint("proto", 0, "IP protocol")
+	return func() adminapi.PatternSpec {
+		return adminapi.PatternSpec{
+			Tenant: uint32(*tenant), Src: *src, Dst: *dst,
+			SrcPort: uint16(*srcPort), DstPort: uint16(*dstPort), Proto: byte(*proto),
+		}
+	}
+}
+
+func (c *client) rules(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("rules list|pin|unpin")
+	}
+	switch args[0] {
+	case "list":
+		var rep adminapi.RulesReply
+		if err := c.do("GET", "/v1/rules", nil, &rep); err != nil || c.json {
+			return err
+		}
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "PATTERN\tPRIO\tQUEUE\tPACKETS\tBYTES")
+			for _, r := range rep.Rules {
+				fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", r.Pattern, r.Priority, r.Queue, r.Packets, r.Bytes)
+			}
+		})
+		fmt.Printf("tcam: %d/%d\n", rep.TCAMUsed, rep.TCAMCap)
+		return nil
+	case "pin", "unpin":
+		fs := flag.NewFlagSet("rules "+args[0], flag.ExitOnError)
+		spec := patternFlags(fs)
+		fs.Parse(args[1:])
+		method := "POST"
+		if args[0] == "unpin" {
+			method = "DELETE"
+		}
+		return c.do(method, "/v1/rules", spec(), nil)
+	}
+	return fmt.Errorf("rules list|pin|unpin")
+}
+
+func (c *client) placements() error {
+	var ps []adminapi.Placement
+	if err := c.do("GET", "/v1/placements", nil, &ps); err != nil || c.json {
+		return err
+	}
+	table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "PATTERN\tSTATE\tATTEMPTS")
+		for _, p := range ps {
+			fmt.Fprintf(w, "%s\t%s\t%d\n", p.Pattern, p.State, p.Attempts)
+		}
+	})
+	return nil
+}
+
+func (c *client) traffic(args []string) error {
+	fs := flag.NewFlagSet("traffic", flag.ExitOnError)
+	tenant := fs.Uint("tenant", 0, "tenant id")
+	src := fs.String("src", "", "source VM IP")
+	dst := fs.String("dst", "", "destination VM IP")
+	srcPort := fs.Uint("src-port", 40000, "source port")
+	dstPort := fs.Uint("dst-port", 8080, "destination port")
+	pps := fs.Int64("pps", 1000, "packets per second")
+	size := fs.Int("size", 64, "packet size bytes")
+	duration := fs.Duration("duration", 0, "stop after (0 = run until shutdown)")
+	fs.Parse(args)
+	if *pps <= 0 {
+		return fmt.Errorf("-pps must be positive")
+	}
+	return c.do("POST", "/v1/traffic", adminapi.TrafficRequest{
+		Tenant: uint32(*tenant), Src: *src, Dst: *dst,
+		SrcPort: uint16(*srcPort), DstPort: uint16(*dstPort),
+		SizeBytes: *size, IntervalUS: 1_000_000 / *pps,
+		DurationMS: duration.Milliseconds(),
+	}, nil)
+}

@@ -1,0 +1,71 @@
+// Command fastrak-tord runs the FasTrak ToR decision engine as a
+// long-lived daemon. fastrak-agentd processes dial its control listener
+// and stream demand reports; it answers with barrier-confirmed offload
+// waves over the same openflow wire protocol the simulation uses. The
+// admin HTTP listener serves health, placement/rule inspection and live
+// telemetry (/metrics, /series.csv) for fastrak-ctl and Prometheus.
+//
+// Usage:
+//
+//	fastrak-tord [-config tord.json] [-listen-control ADDR] [-listen-admin ADDR]
+//
+// On startup it prints one ready line to stdout:
+//
+//	fastrak-tord ready control=<addr> admin=<addr>
+//
+// and drains gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		configPath    = flag.String("config", "", "JSON config file (service.TordConfig)")
+		listenControl = flag.String("listen-control", "", "control listener address (overrides config)")
+		listenAdmin   = flag.String("listen-admin", "", "admin HTTP address (overrides config; \"none\" disables)")
+		tcam          = flag.Int("tcam", 0, "ToR TCAM capacity (overrides config)")
+	)
+	flag.Parse()
+
+	var cfg service.TordConfig
+	if *configPath != "" {
+		if err := service.LoadConfig(*configPath, &cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *listenControl != "" {
+		cfg.ListenControl = *listenControl
+	}
+	if *listenAdmin != "" {
+		cfg.ListenAdmin = *listenAdmin
+	}
+	if *tcam > 0 {
+		cfg.TCAMCapacity = *tcam
+	}
+
+	t, err := service.StartTord(cfg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("fastrak-tord ready control=%s admin=%s\n", t.ControlAddr(), t.AdminAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("fastrak-tord draining")
+	if err := t.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("fastrak-tord stopped")
+}

@@ -1,0 +1,244 @@
+// Package adminapi is the HTTP/JSON admin surface of the FasTrak daemons
+// (fastrak-tord, fastrak-agentd): tenant onboarding, rule CRUD,
+// placement and lease inspection, health, plus the live telemetry
+// endpoints — /metrics in Prometheus text exposition format and
+// /series.csv from the time-series sampler.
+//
+// The package is role-agnostic: each daemon fills in the Hooks it
+// supports and the server answers 404 for the rest, so fastrak-ctl can
+// speak one protocol to both. Hooks run on the caller's goroutine — the
+// daemons bridge them onto their engine thread with Runtime.Do, which is
+// what makes concurrent admin requests safe against the single-threaded
+// controllers.
+package adminapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// PrometheusContentType is the text exposition format version served on
+// /metrics, as Prometheus scrapers expect it.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Hooks are the daemon capabilities behind the HTTP surface. Nil hooks
+// make their endpoints 404.
+type Hooks struct {
+	// Health is required; it backs GET /healthz.
+	Health func() Health
+
+	// WriteMetrics renders the metric registry in Prometheus text format
+	// (GET /metrics).
+	WriteMetrics func(io.Writer) error
+	// WriteSeriesCSV renders the sampler time series (GET /series.csv).
+	WriteSeriesCSV func(io.Writer) error
+
+	// Placements backs GET /v1/placements.
+	Placements func() []Placement
+	// Rules backs GET /v1/rules.
+	Rules func() RulesReply
+	// PinRule backs POST /v1/rules: force-install a pattern in hardware.
+	PinRule func(PatternSpec) error
+	// UnpinRule backs DELETE /v1/rules: demote via the gated removal path.
+	UnpinRule func(PatternSpec) error
+
+	// VMs backs GET /v1/vms.
+	VMs func() []VMInfo
+	// AddVM backs POST /v1/vms (tenant onboarding).
+	AddVM func(VMRequest) error
+	// RemoveVM backs DELETE /v1/vms.
+	RemoveVM func(VMKeySpec) error
+	// Traffic backs POST /v1/traffic.
+	Traffic func(TrafficRequest) error
+}
+
+// Server routes the admin API over the given hooks.
+type Server struct {
+	hooks Hooks
+	mux   *http.ServeMux
+}
+
+// New builds the admin server.
+func New(hooks Hooks) *Server {
+	s := &Server{hooks: hooks, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/series.csv", s.handleSeriesCSV)
+	s.mux.HandleFunc("/v1/placements", s.handlePlacements)
+	s.mux.HandleFunc("/v1/rules", s.handleRules)
+	s.mux.HandleFunc("/v1/vms", s.handleVMs)
+	s.mux.HandleFunc("/v1/traffic", s.handleTraffic)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.hooks.Health == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.hooks.Health())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.hooks.WriteMetrics == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", PrometheusContentType)
+	if err := s.hooks.WriteMetrics(w); err != nil {
+		// Headers are gone; all we can do is cut the response short.
+		return
+	}
+}
+
+func (s *Server) handleSeriesCSV(w http.ResponseWriter, r *http.Request) {
+	if s.hooks.WriteSeriesCSV == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_ = s.hooks.WriteSeriesCSV(w)
+}
+
+func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
+	if s.hooks.Placements == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.hooks.Placements())
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		if s.hooks.Rules == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.hooks.Rules())
+	case http.MethodPost:
+		if s.hooks.PinRule == nil {
+			http.NotFound(w, r)
+			return
+		}
+		var ps PatternSpec
+		if !readJSON(w, r, &ps) {
+			return
+		}
+		if err := s.hooks.PinRule(ps); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	case http.MethodDelete:
+		if s.hooks.UnpinRule == nil {
+			http.NotFound(w, r)
+			return
+		}
+		var ps PatternSpec
+		if !readJSON(w, r, &ps) {
+			return
+		}
+		if err := s.hooks.UnpinRule(ps); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET, POST or DELETE")
+	}
+}
+
+func (s *Server) handleVMs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		if s.hooks.VMs == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.hooks.VMs())
+	case http.MethodPost:
+		if s.hooks.AddVM == nil {
+			http.NotFound(w, r)
+			return
+		}
+		var req VMRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := s.hooks.AddVM(req); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	case http.MethodDelete:
+		if s.hooks.RemoveVM == nil {
+			http.NotFound(w, r)
+			return
+		}
+		var key VMKeySpec
+		if !readJSON(w, r, &key) {
+			return
+		}
+		if err := s.hooks.RemoveVM(key); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET, POST or DELETE")
+	}
+}
+
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	if s.hooks.Traffic == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req TrafficRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := s.hooks.Traffic(req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

@@ -236,6 +236,25 @@ func (c *Cluster) MoveVM(fromIdx, toIdx int, tenant packet.TenantID, ip packet.I
 	return vm, nil
 }
 
+// RemoveVM deprovisions a tenant VM from server idx, undoing AddVM: the
+// host detaches VIF/VF, ToR VRF registration and GRE mappings are
+// withdrawn everywhere, and every vswitch forgets the tunnel directory
+// entry. The FasTrak rule manager is responsible for pulling offloaded
+// rules back first, exactly as for migration (§4.1.2).
+func (c *Cluster) RemoveVM(idx int, tenant packet.TenantID, ip packet.IP) error {
+	if idx < 0 || idx >= len(c.Servers) {
+		return fmt.Errorf("cluster: no server %d", idx)
+	}
+	if _, err := c.Servers[idx].RemoveVM(vswitch.VMKey{Tenant: tenant, IP: ip}); err != nil {
+		return err
+	}
+	c.unregisterVMEverywhere(idx, tenant, ip)
+	for _, s := range c.Servers {
+		s.VSwitch.RemoveTunnel(tenant, ip)
+	}
+	return nil
+}
+
 // FindVM locates a VM by tenant and IP.
 func (c *Cluster) FindVM(tenant packet.TenantID, ip packet.IP) (*host.VM, bool) {
 	key := vswitch.VMKey{Tenant: tenant, IP: ip}

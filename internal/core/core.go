@@ -191,9 +191,10 @@ type aggregateLimit struct {
 	egressBps, ingressBps float64
 }
 
-// Attach builds a rule manager over the cluster. Call Start to begin
-// measurement and offloading.
-func Attach(c *cluster.Cluster, cfg Config) *Manager {
+// normalizeConfig fills the config's derived defaults. Attach and the
+// split-service constructors (NewTORService, NewAgentService) share it so
+// a parameter set means the same thing in-sim and as daemons.
+func normalizeConfig(cfg Config) Config {
 	if cfg.ControlDelay <= 0 {
 		cfg.ControlDelay = 100 * time.Microsecond
 	}
@@ -218,6 +219,13 @@ func Attach(c *cluster.Cluster, cfg Config) *Manager {
 	if cfg.HA.Replicas < 1 {
 		cfg.HA.Replicas = 1
 	}
+	return cfg
+}
+
+// Attach builds a rule manager over the cluster. Call Start to begin
+// measurement and offloading.
+func Attach(c *cluster.Cluster, cfg Config) *Manager {
+	cfg = normalizeConfig(cfg)
 	m := &Manager{
 		Cluster: c,
 		Cfg:     cfg,

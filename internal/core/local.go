@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/decision"
+	"repro/internal/fabric"
 	"repro/internal/fps"
 	"repro/internal/host"
 	"repro/internal/measure"
@@ -80,6 +81,19 @@ type LocalController struct {
 	// sketch accounting mode (Config.SketchAccounting), where it replaces
 	// the exact datapath walk as the ME's statistics feed.
 	acct *sketch.Accountant
+
+	// OnPlacement, when set, fires after a placer redirect is installed
+	// (installed=true) or removed (installed=false). The split
+	// AgentService (internal/service daemons) uses it to mirror the
+	// express-lane ACL into the host-side data-path model, which stands in
+	// for the physical ToR the remote decision engine programs. Nil in
+	// single-process deployments.
+	OnPlacement func(p rules.Pattern, installed bool)
+	// AugmentReport, when set, may extend an outgoing demand report
+	// before it is chunked. The split AgentService appends express-lane
+	// counter entries measured host-side, which a remote TOR controller
+	// cannot read from its own TCAM. Nil in single-process deployments.
+	AugmentReport func(rep *openflow.DemandReport)
 
 	// rec is the flight-recorder scope; nil when telemetry is disabled.
 	rec *telemetry.Scoped
@@ -277,6 +291,9 @@ func (lc *LocalController) sendReport(rep openflow.DemandReport) {
 				V1: float64(len(rep.Entries)), V2: float64(rep.Sketch.Floor)})
 		}
 	}
+	if lc.AugmentReport != nil {
+		lc.AugmentReport(&rep)
+	}
 	if lc.rec != nil {
 		lc.rec.Record(telemetry.Event{Kind: telemetry.KindReportSent,
 			V1: float64(len(rep.Entries)), V2: float64(rep.Interval)})
@@ -351,7 +368,7 @@ func (lc *LocalController) scheduleAck() {
 	if lc.ackPending {
 		return
 	}
-	if up := lc.mgr.Cluster.Uplink(lc.server.ID); up != nil && up.QueueLen() > 0 {
+	if up := lc.uplink(); up != nil && up.QueueLen() > 0 {
 		lc.ackPending = true
 		lc.mgr.Cluster.Eng.After(ackRecheck, lc.retryAck)
 		return
@@ -359,8 +376,22 @@ func (lc *LocalController) scheduleAck() {
 	lc.sendAck()
 }
 
+// uplink resolves this server's access uplink by position in the
+// cluster. Server.ID is the wire identity, not an index: a split
+// deployment (core split services) numbers the single local server with
+// its rack-wide ServerID, so indexing links by ID would come up empty.
+func (lc *LocalController) uplink() *fabric.Link {
+	c := lc.mgr.Cluster
+	for i, s := range c.Servers {
+		if s == lc.server {
+			return c.Uplink(i)
+		}
+	}
+	return nil
+}
+
 func (lc *LocalController) retryAck() {
-	if up := lc.mgr.Cluster.Uplink(lc.server.ID); up != nil && up.QueueLen() > 0 {
+	if up := lc.uplink(); up != nil && up.QueueLen() > 0 {
 		lc.mgr.Cluster.Eng.After(ackRecheck, lc.retryAck)
 		return
 	}
@@ -430,6 +461,9 @@ func (lc *LocalController) installPlacement(p rules.Pattern) {
 	if lc.sendToPlacers(p, mod) {
 		lc.installed[p] = true
 		lc.server.VSwitch.Invalidate(p)
+		if lc.OnPlacement != nil {
+			lc.OnPlacement(p, true)
+		}
 	}
 }
 
@@ -440,6 +474,9 @@ func (lc *LocalController) removePlacement(p rules.Pattern) {
 	mod := &openflow.FlowMod{Command: openflow.FlowDelete, Pattern: p}
 	lc.sendToPlacers(p, mod)
 	delete(lc.installed, p)
+	if lc.OnPlacement != nil {
+		lc.OnPlacement(p, false)
+	}
 }
 
 // sendToPlacers delivers a FlowMod to matching VMs' placers after the
@@ -479,6 +516,17 @@ func (lc *LocalController) installInitialSplit(key vswitch.VMKey, egressBps, ing
 		EgressHardBps:  half(egressBps),
 		IngressHardBps: half(ingressBps),
 	})
+}
+
+// Placements returns the placer redirect rules this controller currently
+// has installed, sorted — exposed for the service admin API.
+func (lc *LocalController) Placements() []rules.Pattern {
+	out := make([]rules.Pattern, 0, len(lc.installed))
+	for p := range lc.installed {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
 }
 
 // sortedVMs returns the server's VMs in deterministic (tenant, IP) order.

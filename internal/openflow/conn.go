@@ -89,6 +89,19 @@ func (c *Conn) SendXID(msg Message, xid uint32) error {
 	return nil
 }
 
+// WriteFrame writes one pre-encoded frame, mutex-guarded like Send so
+// frames from multiple writers interleave whole. It is the glue between
+// a remote-mode Transport (which encodes and counts) and the byte
+// stream.
+func (c *Conn) WriteFrame(frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(frame); err != nil {
+		return fmt.Errorf("openflow: write frame: %w", err)
+	}
+	return nil
+}
+
 // Recv blocks for the next message.
 func (c *Conn) Recv() (Message, uint32, error) {
 	var hdr [headerLen]byte
@@ -183,7 +196,7 @@ func ServeReconnect(conn *Conn, h Handler, attempts int, backoff time.Duration) 
 		reErr := err
 		recovered := false
 		for i := 0; i < attempts; i++ {
-			time.Sleep(backoff << uint(i))
+			time.Sleep(reconnectDelay(backoff, i))
 			if reErr = conn.Reconnect(); reErr == nil {
 				recovered = true
 				break
@@ -193,4 +206,28 @@ func ServeReconnect(conn *Conn, h Handler, attempts int, backoff time.Duration) 
 			return fmt.Errorf("openflow: serve failed (%v) and reconnect exhausted: %w", err, reErr)
 		}
 	}
+}
+
+// maxReconnectDelay caps the exponential redial backoff. Long-lived
+// daemons configure large attempt budgets, and an unclamped backoff<<i
+// overflows time.Duration past ~63 doublings — a negative Sleep spins
+// the redial loop hot against a dead controller.
+const maxReconnectDelay = 30 * time.Second
+
+// ReconnectDelay is the clamped exponential backoff schedule used by
+// ServeReconnect, exported so daemon supervision loops that interleave
+// redials with shutdown checks (internal/service) back off identically.
+func ReconnectDelay(backoff time.Duration, attempt int) time.Duration {
+	return reconnectDelay(backoff, attempt)
+}
+
+func reconnectDelay(backoff time.Duration, attempt int) time.Duration {
+	if attempt >= 20 {
+		return maxReconnectDelay
+	}
+	d := backoff << uint(attempt)
+	if d <= 0 || d > maxReconnectDelay {
+		return maxReconnectDelay
+	}
+	return d
 }

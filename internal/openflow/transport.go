@@ -23,6 +23,13 @@ type Transport struct {
 	eng   *sim.Engine
 	delay time.Duration
 	peer  Handler
+	// remote, when non-nil, switches the transport to remote mode: frames
+	// are handed to this sender (typically Conn.WriteFrame over TCP)
+	// instead of being delivered in-simulation. Counters and fault hooks
+	// keep their exact semantics, so controller code and the overhead
+	// accounting are identical in both modes. eng and peer are unused in
+	// remote mode — the receive path is the peer process's read loop.
+	remote RemoteSender
 	// Sent counts messages, and SentBytes wire bytes, for the
 	// controller-overhead experiment (§6.2.2). Sent counts attempts;
 	// Dropped counts the subset lost to injected faults.
@@ -88,6 +95,16 @@ func (t *Transport) send(msg Message, xid uint32) {
 	t.SentBytes += uint64(len(wire))
 	if t.down || (t.lossRng != nil && t.lossRng.Float64() < t.lossProb) {
 		t.Dropped++
+		return
+	}
+	if t.remote != nil {
+		// Remote mode: the frame goes onto a real byte stream. A send
+		// error is a dropped message, exactly like a faulted in-sim
+		// channel — consumers already tolerate loss (retries, barriers,
+		// anti-entropy), and the connection supervisor handles redial.
+		if err := t.remote(wire); err != nil {
+			t.Dropped++
+		}
 		return
 	}
 	t.eng.After(t.delay+t.extra, func() {

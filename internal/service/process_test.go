@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonProcesses builds the real fastrak-tord / fastrak-agentd /
+// fastrak-ctl binaries and runs the full operator workflow against two
+// live OS processes: ready-line handshake, tenant onboarding through
+// ctl, traffic until an offload decision lands, a /metrics scrape, and a
+// SIGTERM drain on both.
+func TestDaemonProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test skipped in -short")
+	}
+	bin := t.TempDir()
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fastrak-tord", "fastrak-agentd", "fastrak-ctl"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, name), "./cmd/"+name)
+		cmd.Dir = repoRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+	}
+
+	// fastrak-tord, ephemeral ports.
+	tord := exec.Command(filepath.Join(bin, "fastrak-tord"),
+		"-listen-control", "127.0.0.1:0", "-listen-admin", "127.0.0.1:0")
+	tordOut := startDaemon(t, tord)
+	ready := waitLine(t, tordOut, "fastrak-tord ready", 20*time.Second)
+	controlAddr := fieldValue(t, ready, "control")
+	tordAdmin := fieldValue(t, ready, "admin")
+
+	// fastrak-agentd dialing it.
+	agentd := exec.Command(filepath.Join(bin, "fastrak-agentd"),
+		"-server-id", "1", "-tor", controlAddr, "-listen-admin", "127.0.0.1:0")
+	agentOut := startDaemon(t, agentd)
+	ready = waitLine(t, agentOut, "fastrak-agentd ready", 20*time.Second)
+	agentAdmin := fieldValue(t, ready, "admin")
+
+	ctl := func(addr string, args ...string) string {
+		cmd := exec.Command(filepath.Join(bin, "fastrak-ctl"),
+			append([]string{"-addr", addr}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("ctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Onboard a tenant and light up a hot flow through the CLI.
+	ctl(agentAdmin, "tenant", "add", "-tenant", "3", "-ip", "10.0.0.1")
+	ctl(agentAdmin, "tenant", "add", "-tenant", "3", "-ip", "10.0.0.2")
+	if out := ctl(agentAdmin, "tenant", "list"); !strings.Contains(out, "10.0.0.1") {
+		t.Fatalf("tenant list missing VM:\n%s", out)
+	}
+	ctl(agentAdmin, "traffic", "-tenant", "3", "-src", "10.0.0.1", "-dst", "10.0.0.2",
+		"-src-port", "40000", "-dst-port", "8080", "-pps", "5000")
+
+	// Default cadence: epoch 500ms, interval 1s — the decision needs a
+	// few intervals of demand history.
+	deadline := time.Now().Add(60 * time.Second)
+	var placements string
+	for {
+		placements = ctl(tordAdmin, "placements")
+		if strings.Contains(placements, "offloaded") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no offload decision landed; placements:\n%s\nhealth:\n%s",
+				placements, ctl(tordAdmin, "health"))
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	metrics := ctl(tordAdmin, "metrics")
+	if !strings.Contains(metrics, "fastrak_torctl_installs") || !strings.Contains(metrics, "# TYPE") {
+		t.Fatalf("metrics scrape incomplete:\n%.400s", metrics)
+	}
+	if out := ctl(tordAdmin, "rules", "list"); !strings.Contains(out, "tcam:") {
+		t.Fatalf("rules list:\n%s", out)
+	}
+
+	// SIGTERM drain, agent first.
+	stopDaemon(t, agentd, agentOut, "fastrak-agentd stopped")
+	stopDaemon(t, tord, tordOut, "fastrak-tord stopped")
+}
+
+// startDaemon launches cmd with stdout piped and stderr surfaced into
+// the test log, and registers a kill-on-cleanup backstop.
+func startDaemon(t *testing.T, cmd *exec.Cmd) *bufio.Reader {
+	t.Helper()
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", cmd.Path, err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	return bufio.NewReader(stdout)
+}
+
+func waitLine(t *testing.T, r *bufio.Reader, prefix string, timeout time.Duration) string {
+	t.Helper()
+	type res struct {
+		line string
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		for {
+			line, err := r.ReadString('\n')
+			if strings.Contains(line, prefix) || err != nil {
+				ch <- res{strings.TrimSpace(line), err}
+				return
+			}
+		}
+	}()
+	select {
+	case rr := <-ch:
+		if rr.err != nil && !strings.Contains(rr.line, prefix) {
+			t.Fatalf("waiting for %q: %v", prefix, rr.err)
+		}
+		return rr.line
+	case <-time.After(timeout):
+		t.Fatalf("timed out waiting for %q", prefix)
+		return ""
+	}
+}
+
+// fieldValue extracts v from a "k=v" token on the ready line.
+func fieldValue(t *testing.T, line, key string) string {
+	t.Helper()
+	for _, tok := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(tok, key+"="); ok {
+			return v
+		}
+	}
+	t.Fatalf("ready line %q missing %s=", line, key)
+	return ""
+}
+
+func stopDaemon(t *testing.T, cmd *exec.Cmd, out *bufio.Reader, wantLine string) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	sawStop := false
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := out.ReadString('\n')
+		if strings.Contains(line, wantLine) {
+			sawStop = true
+			break
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("drain output: %v", err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%s exit: %v", filepath.Base(cmd.Path), err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("%s did not exit after SIGTERM", filepath.Base(cmd.Path))
+	}
+	if !sawStop {
+		t.Fatalf("%s never printed %q", filepath.Base(cmd.Path), wantLine)
+	}
+}

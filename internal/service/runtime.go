@@ -1,0 +1,148 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// maxIdleSleep bounds how long the runtime loop sleeps when the engine
+// has no pending events (or only far-future ones). It is the staleness
+// bound on clock re-polling, not a scheduling quantum: wake-ups from Post
+// cut any sleep short.
+const maxIdleSleep = 250 * time.Millisecond
+
+// Runtime drives a simulation engine with a real clock. It adopts the
+// engine (typically cluster.New's) rather than creating one: everything
+// already scheduled keeps running, just against wall time.
+//
+// The engine stays single-threaded — exactly one goroutine executes
+// events, as in simulation — so none of the controller code needs locks.
+// The price is that every external touch of engine-owned state must go
+// through Post (asynchronous, from network read loops) or Do
+// (synchronous, from admin handlers). Calling controller methods directly
+// from another goroutine is a data race.
+type Runtime struct {
+	mu    sync.Mutex // guards eng and closed
+	eng   *sim.Engine
+	clock Clock
+
+	wake   chan struct{} // buffered(1): Post nudges the loop
+	done   chan struct{} // closed by Close: loop exits
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewRuntime starts driving eng against clock. Callers hand over the
+// engine: from here on, all access to it (and to any state its events
+// touch) must go through Post/Do until Close returns.
+func NewRuntime(eng *sim.Engine, clock Clock) *Runtime {
+	rt := &Runtime{
+		eng:   eng,
+		clock: clock,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	rt.wg.Add(1)
+	go rt.loop()
+	return rt
+}
+
+// loop advances the engine to the clock's now, then sleeps until the
+// earliest pending event is due (or maxIdleSleep), waking early when Post
+// schedules new work.
+func (rt *Runtime) loop() {
+	defer rt.wg.Done()
+	timer := time.NewTimer(maxIdleSleep)
+	defer timer.Stop()
+	for {
+		rt.mu.Lock()
+		now := rt.clock.Now()
+		rt.eng.RunUntil(now)
+		next, ok := rt.eng.NextAt()
+		rt.mu.Unlock()
+
+		// RunUntil executed everything ≤ now, so next (if any) is
+		// strictly in the future; the subtraction is positive.
+		sleep := maxIdleSleep
+		if ok {
+			if d := next - now; d < sleep {
+				sleep = d
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(sleep)
+
+		select {
+		case <-timer.C:
+		case <-rt.wake:
+		case <-rt.done:
+			return
+		}
+	}
+}
+
+// Post schedules fn onto the engine thread at the current virtual time
+// and returns immediately. Safe from any goroutine; after Close it is a
+// no-op (a late network read must not resurrect a drained engine).
+func (rt *Runtime) Post(fn func()) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.eng.CallSoon(fn)
+	rt.mu.Unlock()
+	select {
+	case rt.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Do runs fn on the engine timeline and waits for it. The calling
+// goroutine executes fn itself while holding the engine lock, so fn may
+// freely touch controller state; any same-time work fn schedules
+// (CallSoon chains, announce batches) is flushed before Do returns.
+//
+// Do must not be called from code already running on the engine (it
+// would self-deadlock); engine-side code just calls functions directly.
+// After Close, Do still works — the drained engine runs fn inline —
+// so admin handlers never hang on a daemon that is shutting down.
+func (rt *Runtime) Do(fn func()) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.eng.CallSoon(fn)
+	rt.eng.RunUntil(rt.eng.Now())
+}
+
+// Now reports the engine's current virtual time.
+func (rt *Runtime) Now() time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.eng.Now()
+}
+
+// Close stops the driver loop and flushes same-time work already queued
+// (a Post racing with Close either runs in this flush or is dropped —
+// never left dangling). Pending future events are abandoned: a drain is
+// "run what was promised for now, schedule nothing new". Idempotent.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	close(rt.done)
+	rt.wg.Wait()
+	rt.mu.Lock()
+	rt.eng.RunUntil(rt.eng.Now())
+	rt.mu.Unlock()
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func waitFor(t *testing.T, deadline time.Duration, cond func() bool) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not met within %v", deadline)
+}
+
+func TestWallClockAdvancesEngine(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var fired atomic.Bool
+	eng.After(5*time.Millisecond, func() { fired.Store(true) })
+	rt := NewRuntime(eng, NewWallClock())
+	defer rt.Close()
+	waitFor(t, 2*time.Second, fired.Load)
+}
+
+func TestManualClockGatesEvents(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var fired atomic.Bool
+	eng.After(time.Hour, func() { fired.Store(true) })
+	clock := &ManualClock{}
+	rt := NewRuntime(eng, clock)
+	defer rt.Close()
+
+	time.Sleep(20 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("event fired before the clock reached it")
+	}
+	clock.Advance(2 * time.Hour)
+	waitFor(t, 2*time.Second, fired.Load)
+	if got := rt.Now(); got != 2*time.Hour {
+		t.Fatalf("engine time = %v, want clock time 2h", got)
+	}
+}
+
+func TestPostRunsOnEngineTimeline(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rt := NewRuntime(eng, NewWallClock())
+	defer rt.Close()
+	var ran atomic.Bool
+	rt.Post(func() { ran.Store(true) })
+	waitFor(t, 2*time.Second, ran.Load)
+}
+
+func TestDoIsSynchronous(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rt := NewRuntime(eng, NewWallClock())
+	defer rt.Close()
+	v := 0
+	rt.Do(func() { v = 42 })
+	if v != 42 {
+		t.Fatalf("Do returned before running fn (v=%d)", v)
+	}
+}
+
+func TestDoFlushesSameTimeChains(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rt := NewRuntime(eng, NewWallClock())
+	defer rt.Close()
+	chain := 0
+	rt.Do(func() {
+		// A CallSoon scheduled by the closure itself (the announce-batch
+		// idiom in the controllers) must complete before Do returns.
+		eng.CallSoon(func() { chain = 1 })
+	})
+	if chain != 1 {
+		t.Fatal("same-time chain did not flush before Do returned")
+	}
+}
+
+func TestCloseIsIdempotentAndDoStillWorks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rt := NewRuntime(eng, NewWallClock())
+	rt.Close()
+	rt.Close()
+	// Post after close is a silent no-op...
+	rt.Post(func() { t.Error("post ran after close") })
+	// ...but Do still executes inline so shutdown-path inspection and
+	// admin handlers never hang.
+	ran := false
+	rt.Do(func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run after Close")
+	}
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestRuntimeManyPosts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rt := NewRuntime(eng, NewWallClock())
+	defer rt.Close()
+	var n atomic.Int64
+	const posts = 1000
+	for i := 0; i < posts; i++ {
+		rt.Post(func() { n.Add(1) })
+	}
+	waitFor(t, 5*time.Second, func() bool { return n.Load() == posts })
+}

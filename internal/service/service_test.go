@@ -1,0 +1,288 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adminapi"
+)
+
+// testControllerCfg compresses the control cadence so an offload wave
+// lands within a couple of wall-clock seconds.
+func testControllerCfg() ControllerConfig {
+	return ControllerConfig{
+		Epoch:             Duration(50 * time.Millisecond),
+		EpochsPerInterval: 2,
+		HistoryIntervals:  2,
+	}
+}
+
+func startPair(t *testing.T) (*Tord, *Agentd) {
+	t.Helper()
+	tord, err := StartTord(TordConfig{
+		ListenControl: "127.0.0.1:0",
+		ListenAdmin:   "127.0.0.1:0",
+		Controller:    testControllerCfg(),
+	}, nil)
+	if err != nil {
+		t.Fatalf("StartTord: %v", err)
+	}
+	t.Cleanup(func() { tord.Close() })
+	agent, err := StartAgentd(AgentConfig{
+		ServerID:    1,
+		TORAddr:     tord.ControlAddr(),
+		ListenAdmin: "127.0.0.1:0",
+		Controller:  testControllerCfg(),
+	}, nil)
+	if err != nil {
+		t.Fatalf("StartAgentd: %v", err)
+	}
+	t.Cleanup(func() { agent.Close() })
+	return tord, agent
+}
+
+func apiGet(t *testing.T, addr, path string, out any) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+}
+
+func apiSend(t *testing.T, method, addr, path string, body any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, "http://"+addr+path, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	rb, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s %s: %s: %s", method, path, resp.Status, rb)
+	}
+}
+
+// TestSplitDeploymentOffloadWave is the acceptance path: two real
+// in-process daemons on TCP loopback complete tenant onboarding → demand
+// reports → a barrier-confirmed offload wave, with /metrics live-scraped
+// mid-run, then shut down cleanly.
+func TestSplitDeploymentOffloadWave(t *testing.T) {
+	tord, agent := startPair(t)
+
+	// The agent registers with the ToR on its first demand report.
+	waitFor(t, 10*time.Second, func() bool {
+		var h adminapi.Health
+		apiGet(t, tord.AdminAddr(), "/healthz", &h)
+		return len(h.Agents) == 1 && h.Agents[0] == 1
+	})
+
+	// Tenant onboarding through the admin API.
+	apiSend(t, "POST", agent.AdminAddr(), "/v1/vms",
+		adminapi.VMRequest{Tenant: 3, IP: "10.0.0.1"})
+	apiSend(t, "POST", agent.AdminAddr(), "/v1/vms",
+		adminapi.VMRequest{Tenant: 3, IP: "10.0.0.2"})
+	var vms []adminapi.VMInfo
+	apiGet(t, agent.AdminAddr(), "/v1/vms", &vms)
+	if len(vms) != 2 {
+		t.Fatalf("onboarded %d VMs, want 2", len(vms))
+	}
+
+	// Drive a hot flow until the DE offloads it.
+	apiSend(t, "POST", agent.AdminAddr(), "/v1/traffic", adminapi.TrafficRequest{
+		Tenant: 3, Src: "10.0.0.1", Dst: "10.0.0.2",
+		SrcPort: 40000, DstPort: 8080, IntervalUS: 200,
+	})
+
+	offloaded := func() bool {
+		var ps []adminapi.Placement
+		apiGet(t, tord.AdminAddr(), "/v1/placements", &ps)
+		for _, p := range ps {
+			if p.State == "offloaded" {
+				return true
+			}
+		}
+		return false
+	}
+	waitFor(t, 30*time.Second, offloaded)
+
+	// The agent's placer mirrors the decision...
+	waitFor(t, 10*time.Second, func() bool {
+		var ps []adminapi.Placement
+		apiGet(t, agent.AdminAddr(), "/v1/placements", &ps)
+		return len(ps) > 0
+	})
+	// ...and the ToR's TCAM holds a barrier-confirmed rule.
+	var rules adminapi.RulesReply
+	apiGet(t, tord.AdminAddr(), "/v1/rules", &rules)
+	if len(rules.Rules) == 0 || rules.TCAMUsed == 0 {
+		t.Fatalf("no hardware rules after offload wave: %+v", rules)
+	}
+
+	// Live mid-run scrape of both daemons.
+	for _, addr := range []string{tord.AdminAddr(), agent.AdminAddr()} {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != adminapi.PrometheusContentType {
+			t.Fatalf("metrics content-type = %q", ct)
+		}
+		if !strings.Contains(string(body), "# TYPE") {
+			t.Fatalf("metrics exposition missing TYPE lines:\n%.400s", body)
+		}
+	}
+	var metrics string
+	{
+		resp, err := http.Get("http://" + tord.AdminAddr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		metrics = string(b)
+	}
+	if !strings.Contains(metrics, "fastrak_torctl_installs") {
+		t.Fatalf("tord metrics missing controller counters:\n%.400s", metrics)
+	}
+
+	// The time-series endpoint carries sampled history.
+	resp, err := http.Get("http://" + tord.AdminAddr() + "/series.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(csv), "fastrak_") {
+		t.Fatalf("series.csv has no samples:\n%.200s", csv)
+	}
+
+	// Clean shutdown: agent first (detaches at the ToR), then the ToR.
+	if err := agent.Close(); err != nil {
+		t.Fatalf("agent close: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		var h adminapi.Health
+		apiGet(t, tord.AdminAddr(), "/healthz", &h)
+		return len(h.Agents) == 0
+	})
+	if err := tord.Close(); err != nil {
+		t.Fatalf("tord close: %v", err)
+	}
+}
+
+// TestAgentReconnect drops the control connection out from under the
+// agent and verifies it redials, re-registers, and keeps reporting.
+func TestAgentReconnect(t *testing.T) {
+	tord, agent := startPair(t)
+	waitFor(t, 10*time.Second, func() bool {
+		var h adminapi.Health
+		apiGet(t, tord.AdminAddr(), "/healthz", &h)
+		return len(h.Agents) == 1
+	})
+
+	// Kill the server side of the control connection.
+	tord.mu.Lock()
+	for ac := range tord.conns {
+		ac.nc.Close()
+	}
+	tord.mu.Unlock()
+
+	// The agent must come back on a fresh stream and re-register via its
+	// next report.
+	waitFor(t, 15*time.Second, func() bool {
+		var h adminapi.Health
+		apiGet(t, tord.AdminAddr(), "/healthz", &h)
+		return len(h.Agents) == 1 && agent.Connected()
+	})
+}
+
+// TestTordRuleCRUD exercises admin pin/unpin against the live install
+// machinery.
+func TestTordRuleCRUD(t *testing.T) {
+	tord, agent := startPair(t)
+	waitFor(t, 10*time.Second, func() bool {
+		var h adminapi.Health
+		apiGet(t, tord.AdminAddr(), "/healthz", &h)
+		return len(h.Agents) == 1
+	})
+	_ = agent
+
+	spec := adminapi.PatternSpec{Tenant: 7, Dst: "10.0.7.1", DstPort: 443}
+	apiSend(t, "POST", tord.AdminAddr(), "/v1/rules", spec)
+	waitFor(t, 10*time.Second, func() bool {
+		var rep adminapi.RulesReply
+		apiGet(t, tord.AdminAddr(), "/v1/rules", &rep)
+		return rep.TCAMUsed > 0
+	})
+	apiSend(t, "DELETE", tord.AdminAddr(), "/v1/rules", spec)
+	waitFor(t, 10*time.Second, func() bool {
+		var rep adminapi.RulesReply
+		apiGet(t, tord.AdminAddr(), "/v1/rules", &rep)
+		return rep.TCAMUsed == 0
+	})
+}
+
+// TestConfigRoundTrip covers the JSON duration forms and unknown-field
+// rejection.
+func TestConfigRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/tord.json"
+	if err := writeFile(path, `{
+		"listen_control": "127.0.0.1:7001",
+		"tcam_capacity": 128,
+		"sample_interval": "250ms",
+		"controller": {"epoch": "50ms", "lease_ttl": "2s"}
+	}`); err != nil {
+		t.Fatal(err)
+	}
+	var cfg TordConfig
+	if err := LoadConfig(path, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ListenControl != "127.0.0.1:7001" || cfg.TCAMCapacity != 128 {
+		t.Fatalf("bad config: %+v", cfg)
+	}
+	if cfg.SampleInterval.D() != 250*time.Millisecond ||
+		cfg.Controller.Epoch.D() != 50*time.Millisecond ||
+		cfg.Controller.LeaseTTL.D() != 2*time.Second {
+		t.Fatalf("durations mis-parsed: %+v", cfg)
+	}
+
+	bad := dir + "/bad.json"
+	if err := writeFile(bad, `{"listen_ctrl": "oops"}`); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadConfig(bad, &cfg); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

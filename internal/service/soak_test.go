@@ -1,0 +1,149 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/adminapi"
+)
+
+// countFDs reports the process's open file descriptors (-1 when the
+// platform has no /proc).
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// TestSoakTenantChurn runs a live daemon pair under continuous tenant
+// churn — onboard, drive traffic, tear down, repeat — and asserts the
+// process neither accretes goroutines nor leaks fds/conns after
+// shutdown. FASTRAK_SOAK_SECONDS extends the default ~3s churn window
+// for real soaking.
+func TestSoakTenantChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short")
+	}
+	soakFor := 3 * time.Second
+	if s := os.Getenv("FASTRAK_SOAK_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("FASTRAK_SOAK_SECONDS=%q: %v", s, err)
+		}
+		soakFor = time.Duration(secs) * time.Second
+	}
+
+	baseGoroutines := runtime.NumGoroutine()
+	baseFDs := countFDs()
+
+	tord, agent := startPair(t)
+	waitFor(t, 10*time.Second, func() bool {
+		var h adminapi.Health
+		apiGet(t, tord.AdminAddr(), "/healthz", &h)
+		return len(h.Agents) == 1
+	})
+
+	end := time.Now().Add(soakFor)
+	var peakGoroutines, rounds int
+	for time.Now().Before(end) {
+		rounds++
+		// Two fresh VMs per round, same tenant space cycling over 8 IPs
+		// so tunnel/VLAN state is exercised for reuse, not just growth.
+		tenant := uint32(2 + rounds%4)
+		ipA := fmt.Sprintf("10.9.%d.1", rounds%8)
+		ipB := fmt.Sprintf("10.9.%d.2", rounds%8)
+		apiSend(t, "POST", agent.AdminAddr(), "/v1/vms",
+			adminapi.VMRequest{Tenant: tenant, IP: ipA, EgressBps: 1e9})
+		apiSend(t, "POST", agent.AdminAddr(), "/v1/vms",
+			adminapi.VMRequest{Tenant: tenant, IP: ipB})
+		apiSend(t, "POST", agent.AdminAddr(), "/v1/traffic", adminapi.TrafficRequest{
+			Tenant: tenant, Src: ipA, Dst: ipB,
+			SrcPort: 41000, DstPort: 8080, IntervalUS: 500, DurationMS: 40,
+		})
+		time.Sleep(60 * time.Millisecond)
+		apiSend(t, "DELETE", agent.AdminAddr(), "/v1/vms",
+			adminapi.VMKeySpec{Tenant: tenant, IP: ipA})
+		apiSend(t, "DELETE", agent.AdminAddr(), "/v1/vms",
+			adminapi.VMKeySpec{Tenant: tenant, IP: ipB})
+		if g := runtime.NumGoroutine(); g > peakGoroutines {
+			peakGoroutines = g
+		}
+	}
+	if rounds < 2 {
+		t.Fatalf("soak made only %d churn rounds", rounds)
+	}
+	// A daemon pair is a fixed set of loops: two runtimes, two HTTP
+	// servers, accept/serve loops, one control connection. Churn must
+	// not scale goroutines with rounds.
+	if peakGoroutines > baseGoroutines+40 {
+		t.Fatalf("goroutines grew with churn: base %d, peak %d after %d rounds",
+			baseGoroutines, peakGoroutines, rounds)
+	}
+
+	var vms []adminapi.VMInfo
+	apiGet(t, agent.AdminAddr(), "/v1/vms", &vms)
+	if len(vms) != 0 {
+		t.Fatalf("%d VMs survived churn teardown", len(vms))
+	}
+
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tord.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything the pair spawned must unwind.
+	waitFor(t, 10*time.Second, func() bool {
+		return runtime.NumGoroutine() <= baseGoroutines+2
+	})
+	if baseFDs >= 0 {
+		waitFor(t, 10*time.Second, func() bool {
+			// TIME_WAIT etc. don't hold fds; allow a little slack for
+			// test-framework incidentals.
+			return countFDs() <= baseFDs+3
+		})
+	}
+}
+
+// TestShutdownReleasesResources is the fast (non-soak) leak guard run in
+// every test invocation: one full daemon-pair lifecycle must return the
+// process to its baseline goroutine and fd counts.
+func TestShutdownReleasesResources(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	baseFDs := countFDs()
+
+	tord, agent := startPair(t)
+	waitFor(t, 10*time.Second, func() bool {
+		var h adminapi.Health
+		apiGet(t, tord.AdminAddr(), "/healthz", &h)
+		return len(h.Agents) == 1
+	})
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return runtime.NumGoroutine() <= baseGoroutines+2
+	})
+	if baseFDs >= 0 {
+		waitFor(t, 10*time.Second, func() bool {
+			return countFDs() <= baseFDs+3
+		})
+	}
+	// Closing twice stays clean (ctl + SIGTERM racing).
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tord.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNextAtPeeksWithoutRunning(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("empty engine reported a pending event")
+	}
+	ran := false
+	e.After(10*time.Millisecond, func() { ran = true })
+	at, ok := e.NextAt()
+	if !ok || at != 10*time.Millisecond {
+		t.Fatalf("NextAt = %v, %v; want 10ms, true", at, ok)
+	}
+	if ran || e.Now() != 0 {
+		t.Fatal("NextAt advanced the simulation")
+	}
+	// Peeking twice is stable.
+	if at2, ok2 := e.NextAt(); !ok2 || at2 != at {
+		t.Fatalf("second NextAt = %v, %v", at2, ok2)
+	}
+}
+
+func TestNextAtSkipsCanceledEvents(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.After(5*time.Millisecond, func() {})
+	e.After(20*time.Millisecond, func() {})
+	ev.Cancel()
+	at, ok := e.NextAt()
+	if !ok || at != 20*time.Millisecond {
+		t.Fatalf("NextAt = %v, %v; want the live 20ms event", at, ok)
+	}
+	// All-canceled queue reports empty.
+	e2 := NewEngine(1)
+	e2.After(time.Millisecond, func() {}).Cancel()
+	if _, ok := e2.NextAt(); ok {
+		t.Fatal("engine with only canceled events reported a pending event")
+	}
+}
+
+func TestNextAtAgreesWithRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var order []time.Duration
+	for _, d := range []time.Duration{30, 10, 20} {
+		d := d * time.Millisecond
+		e.At(d, func() { order = append(order, d) })
+	}
+	for {
+		at, ok := e.NextAt()
+		if !ok {
+			break
+		}
+		e.RunUntil(at)
+	}
+	if len(order) != 3 || order[0] != 10*time.Millisecond || order[2] != 30*time.Millisecond {
+		t.Fatalf("event order %v", order)
+	}
+}

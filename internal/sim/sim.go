@@ -212,3 +212,19 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // Pending returns the number of queued (possibly canceled) events.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// NextAt returns the virtual time of the earliest live pending event and
+// whether one exists. Canceled events at the head of the queue are
+// discarded on the way — a canceled timer must not make a wall-clock
+// driver (internal/service) wake up for nothing. Purely observational
+// with respect to the simulation: no event runs and the clock does not
+// move.
+func (e *Engine) NextAt() (Time, bool) {
+	for len(e.queue) > 0 {
+		if !e.queue[0].dead {
+			return e.queue[0].at, true
+		}
+		heap.Pop(&e.queue)
+	}
+	return 0, false
+}

@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus strictly validates Prometheus text exposition format
+// v0.0.4: metric and label name character sets, label value escaping
+// (only \\, \" and \n are legal escapes), HELP/TYPE comment shape, TYPE
+// appearing exactly once and before the first sample of its metric, no
+// duplicate series, parseable sample values, and a trailing newline.
+// It returns the first violation found, or nil for conformant output.
+//
+// The exporter (WritePrometheus) is deliberately simple; this linter is
+// the conformance oracle the tests hold it — and the daemons' /metrics
+// endpoints — against, so format drift fails loudly rather than
+// surfacing as a scrape error in someone's Prometheus.
+func LintPrometheus(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil // an empty exposition is valid (no metrics registered)
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("promlint: missing trailing newline")
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	typeOf := make(map[string]string)
+	helpSeen := make(map[string]bool)
+	sampleSeen := make(map[string]bool)
+	typeClosed := make(map[string]bool) // TYPE group interrupted by another name
+	lastName := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank lines are tolerated by the format.
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return fmt.Errorf("promlint: line %d: bad metric name %q in HELP", lineNo, name)
+			}
+			if helpSeen[name] {
+				return fmt.Errorf("promlint: line %d: duplicate HELP for %s", lineNo, name)
+			}
+			helpSeen[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fmt.Errorf("promlint: line %d: TYPE without a type", lineNo)
+			}
+			if !validMetricName(name) {
+				return fmt.Errorf("promlint: line %d: bad metric name %q in TYPE", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("promlint: line %d: unknown type %q for %s", lineNo, typ, name)
+			}
+			if _, dup := typeOf[name]; dup {
+				return fmt.Errorf("promlint: line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			typeOf[name] = typ
+			lastName = name
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and ignored.
+		default:
+			name, err := lintSample(line)
+			if err != nil {
+				return fmt.Errorf("promlint: line %d: %w", lineNo, err)
+			}
+			if _, ok := typeOf[name]; !ok {
+				return fmt.Errorf("promlint: line %d: sample %s before its TYPE line", lineNo, name)
+			}
+			if name != lastName {
+				if typeClosed[name] {
+					return fmt.Errorf("promlint: line %d: samples of %s not contiguous with its TYPE group", lineNo, name)
+				}
+				typeClosed[lastName] = true
+				lastName = name
+			}
+			if sampleSeen[line[:sampleIDEnd(line)]] {
+				return fmt.Errorf("promlint: line %d: duplicate series %s", lineNo, line[:sampleIDEnd(line)])
+			}
+			sampleSeen[line[:sampleIDEnd(line)]] = true
+		}
+	}
+	return sc.Err()
+}
+
+// sampleIDEnd returns the end of the series identity (name + label set)
+// in a sample line — the prefix before the value.
+func sampleIDEnd(line string) int {
+	if i := strings.Index(line, "} "); i >= 0 {
+		return i + 1
+	}
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return i
+	}
+	return len(line)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lintSample validates one sample line and returns its metric name.
+func lintSample(line string) (string, error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		return "", fmt.Errorf("bad metric name %q", name)
+	}
+	if i < len(line) && line[i] == '{' {
+		var err error
+		i, err = lintLabels(line, i+1)
+		if err != nil {
+			return name, err
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return name, fmt.Errorf("missing value separator in %q", line)
+	}
+	rest := line[i+1:]
+	value, timestamp, hasTS := strings.Cut(rest, " ")
+	switch value {
+	case "+Inf", "-Inf", "NaN", "Nan": // Nan per the v0.0.4 spec examples
+	default:
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return name, fmt.Errorf("bad sample value %q", value)
+		}
+	}
+	if hasTS {
+		if _, err := strconv.ParseInt(timestamp, 10, 64); err != nil {
+			return name, fmt.Errorf("bad timestamp %q", timestamp)
+		}
+	}
+	return name, nil
+}
+
+// lintLabels validates the label pairs starting just inside '{' and
+// returns the index just past the closing '}'.
+func lintLabels(line string, i int) (int, error) {
+	for {
+		start := i
+		for i < len(line) && line[i] != '=' {
+			i++
+		}
+		if i >= len(line) {
+			return i, fmt.Errorf("unterminated label in %q", line)
+		}
+		if !validLabelName(line[start:i]) {
+			return i, fmt.Errorf("bad label name %q", line[start:i])
+		}
+		i++ // '='
+		if i >= len(line) || line[i] != '"' {
+			return i, fmt.Errorf("unquoted label value in %q", line)
+		}
+		i++
+		for i < len(line) && line[i] != '"' {
+			if line[i] == '\\' {
+				if i+1 >= len(line) {
+					return i, fmt.Errorf("dangling escape in %q", line)
+				}
+				switch line[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return i, fmt.Errorf("illegal escape \\%c in label value", line[i+1])
+				}
+				i++
+			}
+			i++
+		}
+		if i >= len(line) {
+			return i, fmt.Errorf("unterminated label value in %q", line)
+		}
+		i++ // closing '"'
+		if i < len(line) && line[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(line) && line[i] == '}' {
+			return i + 1, nil
+		}
+		return i, fmt.Errorf("malformed label list in %q", line)
+	}
+}

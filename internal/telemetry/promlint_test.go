@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func lintString(s string) error { return LintPrometheus(strings.NewReader(s)) }
+
+func TestLintAcceptsConformantExposition(t *testing.T) {
+	good := `# HELP fastrak_torctl_installs Barrier-confirmed hardware installs.
+# TYPE fastrak_torctl_installs counter
+fastrak_torctl_installs{rack="0"} 12
+fastrak_torctl_installs{rack="1"} 3
+# TYPE fastrak_vswitch_occupancy gauge
+fastrak_vswitch_occupancy 0.25
+# TYPE odd_values untyped
+odd_values{k="a\\\\b",esc="say \"hi\"\n"} +Inf
+odd_values 1e-9 1700000000000
+`
+	if err := lintString(good); err != nil {
+		t.Fatalf("conformant text rejected: %v", err)
+	}
+	if err := lintString(""); err != nil {
+		t.Fatalf("empty exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejectsViolations(t *testing.T) {
+	cases := map[string]string{
+		"missing trailing newline": "# TYPE a counter\na 1",
+		"sample before TYPE":       "a 1\n",
+		"unknown type":             "# TYPE a meter\na 1\n",
+		"duplicate TYPE":           "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"duplicate series":         "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n",
+		"bad metric name":          "# TYPE 1a counter\n1a 1\n",
+		"bad label name":           "# TYPE a counter\na{1x=\"v\"} 1\n",
+		"reserved label name":      "# TYPE a counter\na{__x=\"v\"} 1\n",
+		"unquoted label value":     "# TYPE a counter\na{x=v} 1\n",
+		"illegal escape":           "# TYPE a counter\na{x=\"\\t\"} 1\n",
+		"unterminated value":       "# TYPE a counter\na{x=\"v} 1\n",
+		"bad sample value":         "# TYPE a counter\na one\n",
+		"bad timestamp":            "# TYPE a counter\na 1 soon\n",
+		"split sample group":       "# TYPE a counter\n# TYPE b counter\na 1\nb 1\na{x=\"2\"} 2\n",
+	}
+	for what, text := range cases {
+		if err := lintString(text); err == nil {
+			t.Errorf("%s: accepted:\n%s", what, text)
+		}
+	}
+}
+
+// TestWritePrometheusConforms holds the real exporter to the linter,
+// including label values that need escaping.
+func TestWritePrometheusConforms(t *testing.T) {
+	reg := NewRegistry()
+	var c uint64 = 42
+	reg.Counter("fastrak_test_events_total", "Events seen.", &c, `path=a\b`, `note=say "hi"`)
+	reg.Gauge("fastrak_test_depth", "Queue depth.", func() float64 { return 1.5 }, "queue=q0")
+	reg.Gauge("fastrak_test_depth", "Queue depth.", func() float64 { return 2.5 }, "queue=q1")
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exporter output fails lint: %v\n%s", err, buf.String())
+	}
+}

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Service-runtime smoke test: build the daemons and the CLI, run both
+# processes on loopback, onboard a tenant through fastrak-ctl, drive
+# traffic until an offload decision lands in hardware, scrape the live
+# /metrics endpoint, and shut both daemons down cleanly via SIGTERM.
+#
+# This is the shell twin of TestDaemonProcesses in internal/service —
+# the Go test is the precise oracle; this script proves the shipped
+# binaries work outside `go test` with nothing but a shell and curl
+# (curl is optional: fastrak-ctl can fetch /metrics itself).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+TORD_LOG="$WORK/tord.log"
+AGENTD_LOG="$WORK/agentd.log"
+TORD_PID=""
+AGENTD_PID=""
+
+cleanup() {
+  status=$?
+  [ -n "$AGENTD_PID" ] && kill "$AGENTD_PID" 2>/dev/null || true
+  [ -n "$TORD_PID" ] && kill "$TORD_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  if [ "$status" -ne 0 ]; then
+    echo "--- tord log ---";   cat "$TORD_LOG" 2>/dev/null || true
+    echo "--- agentd log ---"; cat "$AGENTD_LOG" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/" ./cmd/fastrak-tord ./cmd/fastrak-agentd ./cmd/fastrak-ctl
+
+# Wait until a daemon prints its ready line, then echo that line.
+wait_ready() { # logfile needle
+  for _ in $(seq 1 100); do
+    if line=$(grep -m1 "$2" "$1" 2>/dev/null); then
+      echo "$line"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "daemon never became ready: missing '$2' in $1" >&2
+  return 1
+}
+
+# Extract key=value fields from a ready line.
+field() { # line key
+  echo "$1" | tr ' ' '\n' | sed -n "s/^$2=//p"
+}
+
+echo "== start fastrak-tord"
+"$WORK/fastrak-tord" -listen-control 127.0.0.1:0 -listen-admin 127.0.0.1:0 \
+  >"$TORD_LOG" 2>&1 &
+TORD_PID=$!
+ready=$(wait_ready "$TORD_LOG" 'fastrak-tord ready')
+CONTROL=$(field "$ready" control)
+TORD_ADMIN=$(field "$ready" admin)
+echo "   control=$CONTROL admin=$TORD_ADMIN"
+
+echo "== start fastrak-agentd"
+"$WORK/fastrak-agentd" -server-id 1 -tor "$CONTROL" -listen-admin 127.0.0.1:0 \
+  >"$AGENTD_LOG" 2>&1 &
+AGENTD_PID=$!
+ready=$(wait_ready "$AGENTD_LOG" 'fastrak-agentd ready')
+AGENT_ADMIN=$(field "$ready" admin)
+echo "   admin=$AGENT_ADMIN"
+
+CTL="$WORK/fastrak-ctl"
+
+echo "== onboard tenant 3 (two VMs) via fastrak-ctl"
+"$CTL" -addr "$AGENT_ADMIN" tenant add -tenant 3 -ip 10.0.0.1 -vcpus 2
+"$CTL" -addr "$AGENT_ADMIN" tenant add -tenant 3 -ip 10.0.0.2 -vcpus 2
+"$CTL" -addr "$AGENT_ADMIN" tenant list | grep -q '10.0.0.1' ||
+  { echo "tenant list missing onboarded VM" >&2; exit 1; }
+
+echo "== drive traffic until the ToR offloads the flow"
+"$CTL" -addr "$AGENT_ADMIN" traffic -tenant 3 -src 10.0.0.1 -dst 10.0.0.2 \
+  -src-port 1111 -dst-port 2222 -pps 5000
+offloaded=""
+for _ in $(seq 1 120); do
+  if "$CTL" -addr "$TORD_ADMIN" placements | grep -q offloaded; then
+    offloaded=yes
+    break
+  fi
+  sleep 0.5
+done
+[ -n "$offloaded" ] || { echo "no offload decision within 60s" >&2; exit 1; }
+"$CTL" -addr "$TORD_ADMIN" placements
+
+echo "== scrape live /metrics"
+scrape() { # admin addr
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://$1/metrics"
+  else
+    "$CTL" -addr "$1" metrics
+  fi
+}
+tord_metrics=$(scrape "$TORD_ADMIN")
+echo "$tord_metrics" | grep -q '^fastrak_torctl_installs' ||
+  { echo "tord /metrics missing fastrak_torctl_installs" >&2; exit 1; }
+echo "$tord_metrics" | grep -q '^# TYPE ' ||
+  { echo "tord /metrics missing TYPE comments" >&2; exit 1; }
+scrape "$AGENT_ADMIN" | grep -c '^# TYPE ' >/dev/null ||
+  { echo "agentd /metrics missing TYPE comments" >&2; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$AGENTD_PID"
+wait "$AGENTD_PID"
+AGENTD_PID=""
+grep -q 'fastrak-agentd stopped' "$AGENTD_LOG" ||
+  { echo "agentd did not report clean stop" >&2; exit 1; }
+
+kill -TERM "$TORD_PID"
+wait "$TORD_PID"
+TORD_PID=""
+grep -q 'fastrak-tord stopped' "$TORD_LOG" ||
+  { echo "tord did not report clean stop" >&2; exit 1; }
+
+echo "== smoke OK"

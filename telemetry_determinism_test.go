@@ -95,6 +95,13 @@ func TestTelemetryExportsAreDeterministic(t *testing.T) {
 				x.name, ha[:8], hb[:8], len(x.a), len(x.b))
 		}
 	}
+	// The deterministic bytes must also be conformant bytes: the same
+	// exposition text the daemons serve live on /metrics has to pass the
+	// strict format linter, or every Prometheus scrape of a service
+	// deployment would choke on it.
+	if err := telemetry.LintPrometheus(bytes.NewReader(p1)); err != nil {
+		t.Errorf("prometheus export fails exposition lint: %v", err)
+	}
 	// A different seed must actually change the trace — guards against
 	// the degenerate "deterministically empty" pass.
 	t3, _, _ := runTracedScenario(t, 43)
@@ -186,6 +193,9 @@ func TestTelemetryTieredExportsAreDeterministic(t *testing.T) {
 			t.Errorf("tiered %s export is not deterministic: %x != %x (lens %d, %d)",
 				x.name, ha[:8], hb[:8], len(x.a), len(x.b))
 		}
+	}
+	if err := telemetry.LintPrometheus(bytes.NewReader(p1)); err != nil {
+		t.Errorf("tiered prometheus export fails exposition lint: %v", err)
 	}
 	events, _, err := telemetry.ReadChromeTrace(bytes.NewReader(t1))
 	if err != nil {
